@@ -1,0 +1,21 @@
+"""Benchmark E2: Theorem 1.2 coloring-route MDS — quality table plus the
+Delta-sweep series (rounds as a function of the maximum degree at fixed n),
+the "figure" counterpart of the theorem's O(Delta polylog Delta) claim.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import e02_theorem12
+
+
+def bench_e02_theorem12(benchmark):
+    run_experiment(benchmark, e02_theorem12.run)
+
+
+def bench_e02_delta_sweep(benchmark):
+    report = benchmark.pedantic(
+        e02_theorem12.run_delta_sweep, iterations=1, rounds=1, warmup_rounds=0
+    )
+    print()
+    print(report.render())
+    failed = [name for name, ok in report.checks.items() if not ok]
+    assert not failed, f"E2 sweep checks failed: {failed}"

@@ -1,0 +1,77 @@
+"""Routing backbone via connected dominating sets (Theorem 1.4).
+
+In ad-hoc networks a CDS is a *virtual backbone*: every node is adjacent
+to the backbone, and the backbone is connected, so any two nodes can route
+via backbone-only paths.  This script builds the Theorem 1.4 backbone,
+verifies it, and measures the routing stretch (backbone-path length vs
+shortest path) over sampled node pairs.
+
+Usage:  python examples/cds_backbone.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import sys
+
+import networkx as nx
+
+from repro import approx_cds
+from repro.analysis.verify import require_connected_dominating_set
+from repro.graphs import geometric_graph
+
+
+def backbone_route_length(graph: nx.Graph, backbone: set, s: int, t: int) -> int:
+    """Length of the route s -> backbone -> t (entering at a neighbor)."""
+    if s in backbone and t in backbone:
+        inner = nx.shortest_path_length(graph.subgraph(backbone), s, t)
+        return inner
+    sub = graph.subgraph(backbone)
+    s_gates = [s] if s in backbone else [u for u in graph.neighbors(s) if u in backbone]
+    t_gates = [t] if t in backbone else [u for u in graph.neighbors(t) if u in backbone]
+    best = None
+    for gs in s_gates:
+        lengths = nx.single_source_shortest_path_length(sub, gs)
+        for gt in t_gates:
+            if gt in lengths:
+                hops = lengths[gt] + (0 if s in backbone else 1) + (0 if t in backbone else 1)
+                if best is None or hops < best:
+                    best = hops
+    assert best is not None, "backbone disconnected?"
+    return best
+
+
+def main(n: int = 120, seed: int = 3) -> None:
+    graph = geometric_graph(n, seed=seed)
+    result = approx_cds(graph, eps=0.5)
+    backbone = require_connected_dominating_set(graph, result.cds, "backbone")
+    print(
+        f"network: n={n}, m={graph.number_of_edges()}  "
+        f"backbone: {len(backbone)} nodes "
+        f"(|S|={len(result.dominating_set)}, route={result.route})"
+    )
+    for key in sorted(result.stats):
+        print(f"  {key:<24s} {result.stats[key]:g}")
+
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes())
+    stretches = []
+    for _ in range(60):
+        s, t = rng.sample(nodes, 2)
+        shortest = nx.shortest_path_length(graph, s, t)
+        if shortest == 0:
+            continue
+        via = backbone_route_length(graph, backbone, s, t)
+        stretches.append(via / shortest)
+    print(
+        f"\nrouting stretch over {len(stretches)} pairs: "
+        f"mean={statistics.mean(stretches):.3f} "
+        f"p95={sorted(stretches)[int(0.95 * len(stretches)) - 1]:.3f} "
+        f"max={max(stretches):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

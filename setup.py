@@ -1,0 +1,9 @@
+"""Compatibility shim: enables ``python setup.py develop`` on offline
+machines where pip's PEP 660 editable install is unavailable (no ``wheel``
+package, no network for build isolation).  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

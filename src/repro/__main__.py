@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``mds``     run a dominating-set algorithm on a generated graph
+``cds``     run the Theorem 1.4 connected-dominating-set pipeline
+``suite``   list the benchmark suite instances
+``bench``   run one experiment (E1..E12) and print its table
+
+Examples
+--------
+    python -m repro mds --family geometric -n 120 --algorithm coloring
+    python -m repro cds --family gnp -n 80 --eps 0.5
+    python -m repro bench E7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.bounds import theorem11_approximation_bound
+from repro.baselines.greedy import greedy_mds
+from repro.cds.pipeline import approx_cds
+from repro.fractional.lp import lp_fractional_mds
+from repro.graphs.suite import families, suite_instance
+from repro.mds.deterministic import approx_mds_coloring, approx_mds_decomposition
+from repro.mds.local_model import approx_mds_local
+from repro.mds.randomized import approx_mds_randomized
+
+_MDS_ALGORITHMS = {
+    "coloring": approx_mds_coloring,
+    "decomposition": approx_mds_decomposition,
+    "local": approx_mds_local,
+}
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", default="gnp", choices=families())
+    parser.add_argument("-n", type=int, default=100, help="graph size")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_graph(args):
+    return suite_instance(args.family, args.n, seed=args.seed).graph
+
+
+def cmd_mds(args) -> int:
+    graph = _build_graph(args)
+    delta = max((d for _, d in graph.degree()), default=0)
+    if args.algorithm == "randomized":
+        result = approx_mds_randomized(graph, eps=args.eps, seed=args.seed)
+    else:
+        result = _MDS_ALGORITHMS[args.algorithm](graph, eps=args.eps)
+    lp = lp_fractional_mds(graph)
+    payload = {
+        "algorithm": args.algorithm,
+        "family": args.family,
+        "n": graph.number_of_nodes(),
+        "delta": delta,
+        "size": result.size,
+        "lp_optimum": round(lp.optimum, 4),
+        "ratio_vs_lp": round(result.size / max(lp.optimum, 1e-9), 4),
+        "bound": round(theorem11_approximation_bound(args.eps, delta), 4),
+        "greedy": len(greedy_mds(graph)),
+        "rounds_simulated": result.ledger.simulated_rounds,
+        "rounds_charged": result.ledger.charged_rounds,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:<18s} {value}")
+        if args.verbose:
+            print("\nstage ledger:")
+            print(result.ledger.summary())
+    return 0
+
+
+def cmd_cds(args) -> int:
+    graph = _build_graph(args)
+    result = approx_cds(graph, eps=args.eps)
+    payload = {
+        "family": args.family,
+        "n": graph.number_of_nodes(),
+        "mds_size": len(result.dominating_set),
+        "cds_size": result.size,
+        "overhead": round(result.overhead, 4),
+        "route": result.route,
+        **{k: v for k, v in sorted(result.stats.items())},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:<24s} {value}")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    print(f"{'name':<20s} {'n':>6s} {'m':>7s} {'Delta':>6s}")
+    for family in families():
+        for n in sizes:
+            inst = suite_instance(family, n, seed=args.seed)
+            print(
+                f"{inst.name:<20s} {inst.n:>6d} "
+                f"{inst.graph.number_of_edges():>7d} {inst.max_degree:>6d}"
+            )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import importlib
+
+    registry = {
+        "E1": "e01_theorem11", "E2": "e02_theorem12", "E3": "e03_fractional",
+        "E4": "e04_uncovered", "E5": "e05_factor_two", "E6": "e06_cds",
+        "E7": "e07_baselines", "E8": "e08_spanner", "E9": "e09_decomposition",
+        "E10": "e10_congest", "E11": "e11_setcover", "E12": "e12_ablation",
+    }
+    key = args.experiment.upper()
+    if key not in registry:
+        print(f"unknown experiment {args.experiment!r}; choose from "
+              f"{', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{registry[key]}")
+    report = module.run(fast=not args.full)
+    print(report.render())
+    return 0 if report.all_checks_pass else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_mds = sub.add_parser("mds", help="approximate minimum dominating set")
+    _add_graph_args(p_mds)
+    p_mds.add_argument(
+        "--algorithm",
+        default="coloring",
+        choices=sorted(_MDS_ALGORITHMS) + ["randomized"],
+    )
+    p_mds.add_argument("--eps", type=float, default=0.5)
+    p_mds.add_argument("--json", action="store_true")
+    p_mds.add_argument("--verbose", action="store_true")
+    p_mds.set_defaults(func=cmd_mds)
+
+    p_cds = sub.add_parser("cds", help="approximate connected dominating set")
+    _add_graph_args(p_cds)
+    p_cds.add_argument("--eps", type=float, default=0.5)
+    p_cds.add_argument("--json", action="store_true")
+    p_cds.set_defaults(func=cmd_cds)
+
+    p_suite = sub.add_parser("suite", help="list benchmark suite instances")
+    p_suite.add_argument("--sizes", default="60,120,240")
+    p_suite.add_argument("--seed", type=int, default=7)
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_bench = sub.add_parser("bench", help="run one experiment (E1..E12)")
+    p_bench.add_argument("experiment")
+    p_bench.add_argument("--full", action="store_true")
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (e.g. `| head`): not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Verification of solutions and the paper's analytic bounds."""
+
+from repro.analysis.verify import (
+    domination_deficit,
+    is_connected_dominating_set,
+    is_dominating_set,
+    require_dominating_set,
+)
+from repro.analysis.bounds import (
+    greedy_bound,
+    theorem11_approximation_bound,
+    theorem12_approximation_bound,
+    theorem14_cds_bound,
+)
+
+__all__ = [
+    "is_dominating_set",
+    "require_dominating_set",
+    "is_connected_dominating_set",
+    "domination_deficit",
+    "theorem11_approximation_bound",
+    "theorem12_approximation_bound",
+    "theorem14_cds_bound",
+    "greedy_bound",
+]

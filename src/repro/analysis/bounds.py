@@ -1,0 +1,55 @@
+"""The paper's analytic bounds, as named formulas for experiment tables.
+
+All bounds are stated against the LP optimum (a lower bound on OPT), so a
+measured ratio below the bound certifies the theorem's guarantee on that
+instance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.mathx import H_harmonic
+
+
+def theorem11_approximation_bound(eps: float, max_degree: int) -> float:
+    """Theorem 1.1 / 1.2 guarantee: ``(1 + eps)(1 + ln(Delta + 1))``."""
+    return (1.0 + eps) * (1.0 + math.log(max_degree + 1))
+
+
+#: Theorems 1.1 and 1.2 promise the same approximation factor; they differ
+#: in round complexity only.
+theorem12_approximation_bound = theorem11_approximation_bound
+
+
+def corollary13_approximation_bound(eps: float, max_degree: int) -> float:
+    """Corollary 1.3 (LOCAL model): ``(1 + eps) ln(Delta + 1)``."""
+    return (1.0 + eps) * math.log(max_degree + 1)
+
+
+def theorem14_cds_bound(max_degree: int, constant: float = 6.0) -> float:
+    """Theorem 1.4: ``O(ln Delta)``-approximation for connected dominating
+    set.  The hidden constant combines the MDS factor, the |CDS| < 3|S|
+    blow-up and the spanner overhead; ``constant`` makes it explicit for
+    tables (measured ratios are typically far below it)."""
+    return constant * max(1.0, math.log(max_degree + 1))
+
+
+def greedy_bound(max_degree: int) -> float:
+    """Sequential greedy guarantee ``H(Delta + 1) <= 1 + ln(Delta + 1)``."""
+    return H_harmonic(max_degree + 1)
+
+
+def one_shot_uncovered_bound(max_degree: int) -> float:
+    """Lemma 3.6: ``Pr(E_v) <= 1 / Delta~``."""
+    return 1.0 / (max_degree + 1)
+
+
+def factor_two_uncovered_bound(max_degree: int) -> float:
+    """Lemma 3.7: ``Pr(E_v) <= 1 / Delta~^4`` (for admissible eps, r)."""
+    return 1.0 / float(max_degree + 1) ** 4
+
+
+def lemma37_required_r(eps: float, max_degree: int, scale: float = 1.0) -> float:
+    """Lemma 3.7's fractionality requirement ``r >= 256 eps^-3 ln Delta~``."""
+    return 256.0 * scale * math.log(max_degree + 1) / eps ** 3

@@ -1,0 +1,66 @@
+"""Aggregation helpers over experiment rows.
+
+Used by ``scripts/run_experiments.py`` to append a cross-experiment summary
+to EXPERIMENTS.md and by tests that assert distribution-level shapes
+(e.g. "the median deterministic ratio is within 10% of greedy's").
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Distribution summary of a ratio column."""
+
+    count: int
+    mean: float
+    median: float
+    maximum: float
+    minimum: float
+
+    def render(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} median={self.median:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize_ratios(values: Iterable[float]) -> RatioSummary:
+    """Summary statistics of a non-empty ratio sequence."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("summarize_ratios requires at least one value")
+    return RatioSummary(
+        count=len(data),
+        mean=statistics.mean(data),
+        median=statistics.median(data),
+        maximum=max(data),
+        minimum=min(data),
+    )
+
+
+def column(rows: Sequence[Dict[str, object]], key: str) -> List[float]:
+    """Extract a numeric column from experiment rows, skipping non-numbers."""
+    out: List[float] = []
+    for row in rows:
+        value = row.get(key)
+        if isinstance(value, bool) or value is None:
+            continue
+        if isinstance(value, (int, float)) and math.isfinite(float(value)):
+            out.append(float(value))
+    return out
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the standard ratio aggregate)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("geometric_mean requires at least one value")
+    if any(v <= 0 for v in data):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))

@@ -1,0 +1,29 @@
+"""Connected dominating sets (Section 4, Theorem 1.4).
+
+Pipeline: compute a dominating set ``S`` (Theorem 1.1/1.2), build the
+``G_S`` graph (S-nodes adjacent iff within distance 3, Claim 4.1), reduce
+the problem size with a ruling set + BFS-phase clustering (Lemma 4.2),
+select bounded-congestion connection paths (rules 1-3), run the
+(derandomized) Baswana-Sen spanner on the cluster graph ``G'_S``, and emit
+``S`` plus all connector nodes.
+"""
+
+from repro.cds.gs_graph import GSGraph, build_gs_graph
+from repro.cds.connector import cds_from_spanning_tree
+from repro.cds.ruling import ruling_set
+from repro.cds.clustering import ClusterTreeSet, cluster_dominating_set
+from repro.cds.paths import PathSelection, select_connection_paths
+from repro.cds.pipeline import CDSResult, approx_cds
+
+__all__ = [
+    "GSGraph",
+    "build_gs_graph",
+    "cds_from_spanning_tree",
+    "ruling_set",
+    "ClusterTreeSet",
+    "cluster_dominating_set",
+    "PathSelection",
+    "select_connection_paths",
+    "CDSResult",
+    "approx_cds",
+]

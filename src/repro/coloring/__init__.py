@@ -1,0 +1,26 @@
+"""Colorings: proper vertex colorings of conflict graphs, distance-2
+colorings (Lemma 3.12), distributed color reduction, and a Linial-style
+O(Delta^2 polylog)-color algorithm built from cover-free set families.
+"""
+
+from repro.coloring.greedy import (
+    color_classes,
+    greedy_coloring,
+    validate_coloring,
+)
+from repro.coloring.distance2 import (
+    bipartite_distance2_coloring,
+    distance2_coloring,
+)
+from repro.coloring.linial import linial_coloring
+from repro.coloring.reduction import reduce_coloring
+
+__all__ = [
+    "greedy_coloring",
+    "color_classes",
+    "validate_coloring",
+    "distance2_coloring",
+    "bipartite_distance2_coloring",
+    "linial_coloring",
+    "reduce_coloring",
+]

@@ -1,0 +1,33 @@
+"""Synchronous message-passing simulator for the CONGEST and LOCAL models.
+
+The simulator executes *node programs* (subclasses of
+:class:`~repro.congest.node.NodeProgram`) in synchronous rounds on a network
+derived from a ``networkx`` graph.  Per round, every node may send one message
+to each neighbor; in CONGEST mode the byte-size of every message is measured
+and enforced against an ``O(log n)``-bit budget (Section 2 of the paper).
+
+Composite pipelines additionally *charge* rounds for substituted oracles
+through :class:`~repro.congest.cost.CostLedger`, keeping simulated and
+modelled round counts strictly separate.
+"""
+
+from repro.congest.message import Message, bits_of_int, message_bits
+from repro.congest.network import Network, congest_bit_budget
+from repro.congest.node import Context, NodeProgram
+from repro.congest.simulator import SimulationResult, Simulator
+from repro.congest.cost import CostLedger, gk18_decomposition_rounds, kmw06_lp_rounds
+
+__all__ = [
+    "Message",
+    "bits_of_int",
+    "message_bits",
+    "Network",
+    "congest_bit_budget",
+    "Context",
+    "NodeProgram",
+    "SimulationResult",
+    "Simulator",
+    "CostLedger",
+    "gk18_decomposition_rounds",
+    "kmw06_lp_rounds",
+]

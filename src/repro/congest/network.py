@@ -1,0 +1,82 @@
+"""Network abstraction over a ``networkx`` graph.
+
+Nodes are identified by integers ``0..n-1`` (see
+:func:`repro.graphs.normalize_graph`).  The network exposes adjacency and the
+CONGEST bit budget; it does not expose any global structure to node programs,
+which only ever see their own id, their neighbor list (port numbering) and
+``n`` (the standard assumption that nodes know the network size, used by the
+paper for transmittable values).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.util.mathx import ceil_log2
+
+
+def congest_bit_budget(n: int, factor: int = 16, base: int = 96) -> int:
+    """Default CONGEST message budget in bits for an ``n``-node network.
+
+    ``O(log n)`` with explicit constants: ``factor * ceil(log2 n) + base``.
+    The base term covers headers and framing; the factor is generous enough
+    for a constant number of identifiers plus one transmittable value, which
+    is exactly what the paper's algorithms send.
+    """
+    return factor * max(1, ceil_log2(max(2, n))) + base
+
+
+class Network:
+    """A static network on which node programs execute.
+
+    Parameters
+    ----------
+    graph:
+        Undirected simple graph with nodes labelled ``0..n-1``.
+    bit_budget:
+        Maximum message size in bits (``None`` = LOCAL model, unbounded).
+    """
+
+    def __init__(self, graph: nx.Graph, bit_budget: int | None = None):
+        n = graph.number_of_nodes()
+        if n == 0:
+            raise GraphError("network requires a non-empty graph")
+        if set(graph.nodes()) != set(range(n)):
+            raise GraphError(
+                "network nodes must be labelled 0..n-1; "
+                "use repro.graphs.normalize_graph first"
+            )
+        self.graph = graph
+        self.n = n
+        self.bit_budget = bit_budget
+        self._neighbors: Dict[int, Tuple[int, ...]] = {
+            v: tuple(sorted(graph.neighbors(v))) for v in range(n)
+        }
+
+    @classmethod
+    def congest(cls, graph: nx.Graph, factor: int = 16, base: int = 96) -> "Network":
+        """Network with the default CONGEST bit budget for its size."""
+        return cls(graph, bit_budget=congest_bit_budget(graph.number_of_nodes(), factor, base))
+
+    @classmethod
+    def local(cls, graph: nx.Graph) -> "Network":
+        """LOCAL-model network (unbounded messages)."""
+        return cls(graph, bit_budget=None)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbor tuple of ``v`` (the port numbering)."""
+        return self._neighbors[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._neighbors[v])
+
+    @property
+    def max_degree(self) -> int:
+        return max((len(nbrs) for nbrs in self._neighbors.values()), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "LOCAL" if self.bit_budget is None else f"CONGEST({self.bit_budget}b)"
+        return f"Network(n={self.n}, {mode})"

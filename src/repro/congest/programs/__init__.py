@@ -1,0 +1,41 @@
+"""Concrete node programs for the primitives the paper's algorithms use:
+BFS trees, tree convergecast/broadcast, execution of the abstract rounding
+process, and the Lemma 3.10 conditional-expectation color loop.
+"""
+
+from repro.congest.programs.bfs import BFSTreeProgram, run_bfs_forest
+from repro.congest.programs.aggregate import (
+    TreeAggregationProgram,
+    run_tree_sum,
+)
+from repro.congest.programs.rounding_exec import (
+    RoundingExecutionProgram,
+    run_rounding_execution,
+)
+from repro.congest.programs.greedy_mds import (
+    DistributedGreedyProgram,
+    run_distributed_greedy,
+)
+from repro.congest.programs.color_reduction import (
+    ColorReductionProgram,
+    run_color_reduction,
+)
+from repro.congest.programs.lemma310 import (
+    Lemma310Program,
+    run_lemma310_on_graph,
+)
+
+__all__ = [
+    "BFSTreeProgram",
+    "run_bfs_forest",
+    "TreeAggregationProgram",
+    "run_tree_sum",
+    "RoundingExecutionProgram",
+    "run_rounding_execution",
+    "DistributedGreedyProgram",
+    "run_distributed_greedy",
+    "ColorReductionProgram",
+    "run_color_reduction",
+    "Lemma310Program",
+    "run_lemma310_on_graph",
+]

@@ -1,0 +1,263 @@
+"""Distributed execution of the Lemma 3.10 derandomization on the simulator.
+
+This node program runs the color-class conditional-expectation loop as
+actual CONGEST message passing on the graph itself (the ``B = B_G`` case
+where every node hosts one value variable and one constraint over its
+inclusive neighborhood):
+
+* round 0 — every node broadcasts its ``(x, p)`` (transmittable numerators),
+  so each node can instantiate the estimator for its own constraint;
+* per color class ``i`` (3 rounds):
+  announce — participating nodes of color ``i`` declare they are deciding;
+  alphas — every neighbor ``u`` of a decider ``v`` sends
+  ``(alpha_{u,0}, alpha_{u,1})``, its expected final value conditioned on
+  ``v``'s coin (distance-2 coloring guarantees at most one deciding
+  neighbor);
+  decide — ``v`` picks the smaller sum, fixes its coin, and broadcasts the
+  decision so neighbors update their estimator state;
+* finally two rounds execute the rounding phases (value exchange,
+  constraint check).
+
+The per-node math reuses :class:`repro.derand.estimators.ConstraintEstimator`
+verbatim, so the distributed run provably mirrors the centralized engine up
+to the paper's alpha quantization; tests compare the two end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import networkx as nx
+
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.node import Context, NodeProgram
+from repro.congest.simulator import SimulationResult, Simulator
+from repro.derand.estimators import ConstraintEstimator, EstimatorConfig
+from repro.errors import CongestError
+from repro.util.transmittable import TransmittableGrid
+
+
+class Lemma310Program(NodeProgram):
+    """Input per node: dict with keys ``x_num``, ``p_num``, ``c_num``,
+    ``color`` (-1 = not participating), ``num_colors``, ``iota``, ``mode``.
+
+    Output per node: ``value`` (final grid numerator after phase two) and,
+    for participants, ``coin`` (0/1).
+    """
+
+    def __init__(self, input_value: object = None):
+        super().__init__(input_value)
+        spec = dict(input_value)  # type: ignore[arg-type]
+        self.iota: int = spec["iota"]
+        self.scale: int = 1 << self.iota
+        self.x_num: int = spec["x_num"]
+        self.p_num: int = spec["p_num"]
+        self.c_num: int = spec["c_num"]
+        self.color: int = spec["color"]
+        self.num_colors: int = spec["num_colors"]
+        self.mode: str = spec["mode"]
+        #: neighbor id -> (x_num, p_num); filled in round 1
+        self.nbr: Dict[int, Tuple[int, int]] = {}
+        self.estimator: ConstraintEstimator | None = None
+        self.coin: int | None = None
+        self._final_x: int | None = None
+
+    # -- local math ---------------------------------------------------------
+
+    def _f(self, num: int) -> float:
+        return num / self.scale
+
+    def _participates(self, x_num: int, p_num: int) -> bool:
+        return 0 < x_num and 0 < p_num < self.scale
+
+    def _build_estimator(self) -> None:
+        deterministic = 0.0
+        free: Dict[int, Tuple[float, float]] = {}
+        entries = dict(self.nbr)
+        entries[-1] = (self.x_num, self.p_num)  # own variable, id -1 locally
+        for node_id, (x_num, p_num) in entries.items():
+            if x_num <= 0:
+                continue
+            if self._participates(x_num, p_num):
+                free[node_id] = (self._f(x_num) / self._f(p_num), self._f(p_num))
+            else:
+                deterministic += self._f(x_num)
+        self.estimator = ConstraintEstimator(
+            cid=0,
+            c=self._f(self.c_num),
+            deterministic_sum=deterministic,
+            free_coins=free,
+            config=EstimatorConfig(mode=self.mode),
+        )
+
+    def _own_success_value(self) -> float:
+        return self._f(self.x_num) / self._f(self.p_num)
+
+    def _alpha_pair(self, decider: int) -> Tuple[float, float]:
+        """(alpha_{u,0}, alpha_{u,1}): this node's expected final value given
+        the decider's coin outcome."""
+        assert self.estimator is not None
+        key = -1 if decider == -2 else decider
+        # Expected own phase-one value.
+        if self.coin is not None:
+            ex = self._own_success_value() if self.coin else 0.0
+            ex0 = ex1 = ex
+        elif self._participates(self.x_num, self.p_num):
+            ex0 = ex1 = self._f(self.x_num)  # p * (x/p)
+        else:
+            ex0 = ex1 = self._f(self.x_num)
+        if key == -1:  # the decider is this node itself
+            ex0, ex1 = 0.0, self._own_success_value()
+        phi0 = self.estimator.phi_if(key, False)
+        phi1 = self.estimator.phi_if(key, True)
+        return ex0 + phi0, ex1 + phi1
+
+    # -- protocol ------------------------------------------------------------
+
+    def setup(self, ctx: Context) -> None:
+        ctx.broadcast(Message("xp", self.x_num, self.p_num))
+
+    def receive(self, ctx: Context, inbox: Dict[int, Message]) -> None:
+        round_no = ctx.round_number
+        if round_no == 1:
+            for sender, msg in inbox.items():
+                if msg.tag != "xp":
+                    raise CongestError(f"unexpected {msg.tag} in exchange round")
+                self.nbr[sender] = (msg.fields[0], msg.fields[1])
+            self._build_estimator()
+            self._maybe_announce(ctx, class_index=0)
+            return
+
+        # Rounds are grouped in threes per color class, offset by the
+        # exchange round: class i occupies rounds 2+3i .. 4+3i.
+        class_index = (round_no - 2) // 3
+        step = (round_no - 2) % 3
+
+        if class_index >= self.num_colors:
+            self._execute_phases(ctx, inbox, round_no)
+            return
+
+        if step == 0:
+            # "announce" messages arrive; neighbors of a decider quote alphas.
+            deciders = [s for s, m in inbox.items() if m.tag == "announce"]
+            if len(deciders) > 1:
+                raise CongestError(
+                    f"node {ctx.node} saw {len(deciders)} simultaneous "
+                    "deciders; the coloring is not distance-2"
+                )
+            if deciders:
+                v = deciders[0]
+                a0, a1 = self._alpha_pair(v)
+                ctx.send(
+                    v,
+                    Message(
+                        "alpha",
+                        min(self.scale * 4, round(a0 * self.scale)),
+                        min(self.scale * 4, round(a1 * self.scale)),
+                    ),
+                )
+        elif step == 1:
+            # Deciders collect alphas and decide.
+            if self.color == class_index and self.coin is None and \
+                    self._participates(self.x_num, self.p_num):
+                total0 = total1 = 0
+                for msg in inbox.values():
+                    if msg.tag == "alpha":
+                        total0 += msg.fields[0]
+                        total1 += msg.fields[1]
+                own0, own1 = self._alpha_pair(-2)
+                total0 += round(own0 * self.scale)
+                total1 += round(own1 * self.scale)
+                self.coin = 1 if total1 < total0 else 0
+                ctx.broadcast(Message("fixed", self.coin))
+                assert self.estimator is not None
+                self.estimator.fix(-1, bool(self.coin))
+        else:
+            # Neighbors fold the decision into their estimators; the next
+            # class announces.
+            for sender, msg in inbox.items():
+                if msg.tag == "fixed":
+                    assert self.estimator is not None
+                    if self.estimator.involves(sender):
+                        self.estimator.fix(sender, bool(msg.fields[0]))
+            self._maybe_announce(ctx, class_index + 1)
+
+    def _maybe_announce(self, ctx: Context, class_index: int) -> None:
+        if class_index >= self.num_colors:
+            # Move straight to execution: broadcast the phase-one value.
+            self._broadcast_final_x(ctx)
+            return
+        if (
+            self.color == class_index
+            and self.coin is None
+            and self._participates(self.x_num, self.p_num)
+        ):
+            ctx.broadcast(Message("announce"))
+
+    def _phase_one_value_num(self) -> int:
+        if self.x_num <= 0:
+            return 0
+        if not self._participates(self.x_num, self.p_num):
+            return self.x_num
+        if self.coin is None:
+            raise CongestError("participating node reached execution undecided")
+        if not self.coin:
+            return 0
+        return min(self.scale, round(self._own_success_value() * self.scale))
+
+    def _broadcast_final_x(self, ctx: Context) -> None:
+        if self._final_x is None:
+            self._final_x = self._phase_one_value_num()
+            ctx.broadcast(Message("exec", self._final_x))
+
+    def _execute_phases(self, ctx: Context, inbox: Dict[int, Message], round_no: int) -> None:
+        self._broadcast_final_x(ctx)
+        exec_msgs = {s: m for s, m in inbox.items() if m.tag == "exec"}
+        if len(exec_msgs) == ctx.degree:
+            covered = (self._final_x or 0) + sum(
+                m.fields[0] for m in exec_msgs.values()
+            )
+            final = self.scale if covered < self.c_num else (self._final_x or 0)
+            ctx.output("value", final)
+            if self.coin is not None:
+                ctx.output("coin", self.coin)
+            ctx.halt()
+
+
+def run_lemma310_on_graph(
+    graph: nx.Graph,
+    values: Mapping[int, float],
+    p: Mapping[int, float],
+    colors: Mapping[int, int],
+    mode: str = "auto",
+    grid: TransmittableGrid | None = None,
+    network: Network | None = None,
+) -> Tuple[Dict[int, float], Dict[int, int], SimulationResult]:
+    """Run the distributed Lemma 3.10 loop for the graph instance ``B_G``.
+
+    ``colors`` must be a distance-2 coloring of the participating nodes
+    (0-based).  Returns (final values, coins, simulation metrics).
+    """
+    n = graph.number_of_nodes()
+    grid = grid or TransmittableGrid.for_n(n)
+    network = network or Network.congest(graph)
+    num_colors = (max(colors.values()) + 1) if colors else 0
+    inputs = {}
+    for v in graph.nodes():
+        inputs[v] = {
+            "iota": grid.iota,
+            "x_num": grid.to_int(values.get(v, 0.0)),
+            "p_num": grid.to_int(p.get(v, 1.0)),
+            "c_num": grid.to_int(1.0),
+            "color": colors.get(v, -1),
+            "num_colors": num_colors,
+            "mode": mode,
+        }
+    sim = Simulator(network, Lemma310Program, inputs=inputs)
+    result = sim.run(max_rounds=3 * num_colors + 12)
+    final_values = {
+        v: grid.from_int(num) for v, num in result.output_map("value").items()
+    }
+    coins = {v: c for v, c in result.output_map("coin").items()}
+    return final_values, coins, result

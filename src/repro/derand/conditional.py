@@ -1,0 +1,201 @@
+"""The conditional-expectation engine.
+
+Given a rounding scheme and a *schedule* — an ordered list of batches of
+participating variables such that no two variables in the same batch share a
+constraint — the engine fixes each batch's coins simultaneously (against a
+snapshot of the state before the batch), choosing for every variable the
+outcome that minimizes the objective estimate
+
+``U(theta) = sum_u w(u) E[X_u | theta] + sum_v jw(v) phi_v(theta)``.
+
+Batch-disjointness is exactly what the paper's distance-2 colorings
+(Lemma 3.10) and 2-separated same-color clusters (Lemma 3.4) provide; the
+engine validates it and raises otherwise.  Because each variable's choice
+minimizes its own additive slice of ``U`` and slices within a batch touch
+disjoint constraints, ``U`` is non-increasing across batches — the
+supermartingale invariant, checked after every batch.
+
+The final objective value upper-bounds the realized per-copy solution size,
+so the deterministic output inherits the randomized process's expectation
+bound (Lemmas 3.8/3.9/3.13/3.14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.derand.estimators import ConstraintEstimator, EstimatorConfig
+from repro.errors import DerandomizationError
+from repro.rounding.abstract import RoundingOutcome, RoundingScheme, execute_rounding
+from repro.rounding.coins import fixed_coins
+
+#: Tolerance for the non-increase check on the objective estimate.  The
+#: incremental log-product updates drift by O(machine eps) per update.
+_MONOTONE_TOL = 1e-7
+
+
+@dataclass
+class DerandResult:
+    """Deterministic rounding outcome plus the estimator trajectory."""
+
+    outcome: RoundingOutcome
+    decisions: Dict[int, bool]
+    initial_estimate: float
+    final_estimate: float
+    trajectory: List[float] = field(default_factory=list)
+    batches: int = 0
+
+    @property
+    def realized_size(self) -> float:
+        """Per-copy accounted size of the deterministic output."""
+        return self.outcome.accounted_size
+
+
+class ConditionalExpectationEngine:
+    """Runs the method of conditional expectations over a schedule."""
+
+    def __init__(self, scheme: RoundingScheme, config: EstimatorConfig | None = None):
+        self.scheme = scheme
+        self.config = config or EstimatorConfig()
+        inst = scheme.instance
+
+        #: free coins per variable: success value w and probability p
+        self._coin: Dict[int, tuple] = {}
+        #: expectation contribution of every variable under theta
+        self._ex: Dict[int, float] = {}
+        self._weight: Dict[int, float] = {}
+        for u, var in inst.value_vars.items():
+            pu = scheme.p.get(u, 1.0)
+            self._weight[u] = var.weight
+            if var.x <= 0.0:
+                self._ex[u] = 0.0
+            elif pu >= 1.0:
+                self._ex[u] = var.x
+            else:
+                self._coin[u] = (var.x / pu, pu)
+                self._ex[u] = var.x  # p * (x/p)
+
+        self.estimators: Dict[int, ConstraintEstimator] = {}
+        for cid, cn in inst.constraints.items():
+            deterministic = 0.0
+            free: Dict[int, tuple] = {}
+            for u in cn.members:
+                var = inst.value_vars[u]
+                pu = scheme.p.get(u, 1.0)
+                if var.x <= 0.0:
+                    continue
+                if pu >= 1.0:
+                    deterministic += var.x
+                else:
+                    free[u] = (var.x / pu, pu)
+            self.estimators[cid] = ConstraintEstimator(
+                cid, cn.c, deterministic, free, self.config
+            )
+
+        self.decisions: Dict[int, bool] = {}
+
+    # -- objective ------------------------------------------------------------
+
+    def objective(self) -> float:
+        """Current value of the estimate ``U(theta)``."""
+        inst = self.scheme.instance
+        total = sum(self._weight[u] * ex for u, ex in self._ex.items())
+        for cid, est in self.estimators.items():
+            total += inst.constraints[cid].join_weight * est.phi()
+        return total
+
+    def _decision_scores(self, u: int) -> tuple:
+        """(score if success, score if failure) for variable ``u``: only the
+        additive terms of ``U`` that depend on ``u``'s coin."""
+        inst = self.scheme.instance
+        w, _p = self._coin[u]
+        succ = self._weight[u] * w
+        fail = 0.0
+        for cid in inst.var_constraints[u]:
+            jw = inst.constraints[cid].join_weight
+            est = self.estimators[cid]
+            succ += jw * est.phi_if(u, True)
+            fail += jw * est.phi_if(u, False)
+        return succ, fail
+
+    # -- schedule validation ----------------------------------------------------
+
+    def _validate_batch(self, batch: Sequence[int]) -> None:
+        inst = self.scheme.instance
+        seen: Set[int] = set()
+        for u in batch:
+            if u not in self._coin:
+                raise DerandomizationError(
+                    f"variable {u} has no free coin (already fixed, p in {{0,1}}, or x=0)"
+                )
+            if u in self.decisions:
+                raise DerandomizationError(f"variable {u} scheduled twice")
+            for cid in inst.var_constraints[u]:
+                if cid in seen:
+                    raise DerandomizationError(
+                        f"batch members share constraint {cid}; the schedule "
+                        "violates the distance-2 / separation requirement"
+                    )
+                seen.add(cid)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, schedule: Iterable[Sequence[int]]) -> DerandResult:
+        """Fix all coins batch by batch and execute the rounding."""
+        initial = self.objective()
+        trajectory = [initial]
+        prev = initial
+        batches = 0
+        for batch in schedule:
+            batch = list(batch)
+            if not batch:
+                continue
+            self._validate_batch(batch)
+            # Snapshot semantics: compute all decisions against the state
+            # before the batch, then commit them together.
+            chosen: List[tuple] = []
+            for u in batch:
+                succ, fail = self._decision_scores(u)
+                chosen.append((u, succ < fail))
+            for u, success in chosen:
+                self._commit(u, success)
+            batches += 1
+            now = self.objective()
+            if now > prev + _MONOTONE_TOL * max(1.0, abs(prev)):
+                raise DerandomizationError(
+                    f"objective increased across batch {batches}: "
+                    f"{prev:.9g} -> {now:.9g}; supermartingale invariant violated"
+                )
+            trajectory.append(now)
+            prev = now
+
+        undecided = [u for u in self._coin if u not in self.decisions]
+        if undecided:
+            raise DerandomizationError(
+                f"{len(undecided)} participating variables never scheduled "
+                f"(e.g. {undecided[:5]})"
+            )
+
+        outcome = execute_rounding(self.scheme, fixed_coins(self.decisions))
+        final = self.objective()
+        if outcome.accounted_size > final + _MONOTONE_TOL * max(1.0, final):
+            raise DerandomizationError(
+                f"realized size {outcome.accounted_size:.9g} exceeds final "
+                f"estimate {final:.9g}"
+            )
+        return DerandResult(
+            outcome=outcome,
+            decisions=dict(self.decisions),
+            initial_estimate=initial,
+            final_estimate=final,
+            trajectory=trajectory,
+            batches=batches,
+        )
+
+    def _commit(self, u: int, success: bool) -> None:
+        self.decisions[u] = success
+        w, _p = self._coin[u]
+        self._ex[u] = w if success else 0.0
+        for cid in self.scheme.instance.var_constraints[u]:
+            self.estimators[cid].fix(u, success)

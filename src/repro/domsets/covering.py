@@ -1,0 +1,317 @@
+"""Generic covering instances: the value-node / constraint-node view.
+
+Section 3.3 of the paper replaces the graph ``G`` by its *bipartite
+representation* ``B_G``: each node splits into a constraint node (left) and
+a value node (right).  The derandomization lemmas then operate on modified
+bipartite graphs ``B`` obtained by removing edges (Lemma 3.13) or splitting
+constraint nodes (Lemma 3.14).  :class:`CoveringInstance` is exactly that
+object: value variables carry fractional values (and objective weights, for
+the Section 5 weighted generalization); constraints carry a demand ``c`` and
+a member list of value variables.  Minimum set cover (Section 5) is the same
+structure with sets as value variables and elements as constraints, so all
+rounding machinery downstream of this module is problem-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import InfeasibleSolutionError
+from repro.graphs.normalize import require_normalized
+
+
+@dataclass(frozen=True)
+class ValueVar:
+    """A fractional variable (right-hand / ``U_R`` node of ``B``)."""
+
+    id: int
+    x: float
+    origin: int
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A covering constraint (left-hand / ``U_L`` node of ``B``).
+
+    ``members`` lists the value variables whose sum must reach ``c``.
+    ``origin`` is the graph node (or set-cover element) whose coverage this
+    constraint encodes; if the constraint ends up violated after rounding,
+    *origin* joins the solution (phase two of the abstract process).
+    ``join_weight`` is origin's objective cost of joining (1 if unweighted).
+    """
+
+    id: int
+    c: float
+    members: Tuple[int, ...]
+    origin: int
+    join_weight: float = 1.0
+
+
+class CoveringInstance:
+    """An immutable covering instance plus the var -> constraints index."""
+
+    def __init__(
+        self,
+        value_vars: Sequence[ValueVar],
+        constraints: Sequence[Constraint],
+    ):
+        self.value_vars: Dict[int, ValueVar] = {v.id: v for v in value_vars}
+        self.constraints: Dict[int, Constraint] = {c.id: c for c in constraints}
+        if len(self.value_vars) != len(value_vars):
+            raise InfeasibleSolutionError("duplicate value variable ids")
+        if len(self.constraints) != len(constraints):
+            raise InfeasibleSolutionError("duplicate constraint ids")
+        index: Dict[int, List[int]] = {v: [] for v in self.value_vars}
+        for cn in constraints:
+            for u in cn.members:
+                if u not in self.value_vars:
+                    raise InfeasibleSolutionError(
+                        f"constraint {cn.id} references unknown variable {u}"
+                    )
+                index[u].append(cn.id)
+        self.var_constraints: Dict[int, Tuple[int, ...]] = {
+            v: tuple(cids) for v, cids in index.items()
+        }
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: nx.Graph,
+        values: Mapping[int, float],
+        constraints: Mapping[int, float] | None = None,
+        weights: Mapping[int, float] | None = None,
+    ) -> "CoveringInstance":
+        """The bipartite representation ``B_G`` of a graph CFDS.
+
+        One value variable and one constraint per node; the constraint of
+        ``v`` spans the inclusive neighborhood ``N(v)``.
+        """
+        require_normalized(graph)
+        weights = weights or {}
+        value_vars = [
+            ValueVar(id=v, x=float(values.get(v, 0.0)), origin=v,
+                     weight=float(weights.get(v, 1.0)))
+            for v in sorted(graph.nodes())
+        ]
+        cons = []
+        for v in sorted(graph.nodes()):
+            demand = 1.0 if constraints is None else float(constraints.get(v, 1.0))
+            members = tuple(sorted(set(graph.neighbors(v)) | {v}))
+            cons.append(
+                Constraint(id=v, c=demand, members=members, origin=v,
+                           join_weight=float(weights.get(v, 1.0)))
+            )
+        return cls(value_vars, cons)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.value_vars)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def values(self) -> Dict[int, float]:
+        """Current fractional values by variable id."""
+        return {v: var.x for v, var in self.value_vars.items()}
+
+    def size(self) -> float:
+        """Weighted size ``sum_u w(u) * x(u)``."""
+        return sum(var.weight * var.x for var in self.value_vars.values())
+
+    def member_sum(self, cid: int, values: Mapping[int, float] | None = None) -> float:
+        """Sum of member values for one constraint."""
+        cn = self.constraints[cid]
+        if values is None:
+            return sum(self.value_vars[u].x for u in cn.members)
+        return sum(values.get(u, 0.0) for u in cn.members)
+
+    def violations(
+        self, values: Mapping[int, float] | None = None, tol: float = 1e-9
+    ) -> List[int]:
+        """Constraint ids with ``member_sum < c - tol``."""
+        return [
+            cid
+            for cid, cn in self.constraints.items()
+            if self.member_sum(cid, values) < cn.c - tol
+        ]
+
+    def is_feasible(self, values: Mapping[int, float] | None = None, tol: float = 1e-9) -> bool:
+        return not self.violations(values, tol)
+
+    @property
+    def max_constraint_degree(self) -> int:
+        """``Delta_L``: most members any constraint has."""
+        return max((len(cn.members) for cn in self.constraints.values()), default=0)
+
+    @property
+    def max_var_degree(self) -> int:
+        """``Delta_R``: most constraints any variable appears in."""
+        return max((len(cids) for cids in self.var_constraints.values()), default=0)
+
+    # -- transforms (the Section 3.3 "Constructing Graph B" steps) ----------
+
+    def with_values(self, new_values: Mapping[int, float]) -> "CoveringInstance":
+        """Same structure, new fractional values."""
+        return CoveringInstance(
+            [replace(var, x=float(new_values.get(var.id, var.x)))
+             for var in self.value_vars.values()],
+            list(self.constraints.values()),
+        )
+
+    def boost_values(
+        self, factor: float, cap: float = 1.0, quantize: Callable[[float], float] | None = None
+    ) -> "CoveringInstance":
+        """Values become ``min(cap, factor * x)``, optionally snapped up onto
+        a transmittable grid (the paper's n^-10 rounding)."""
+        new_vals = {}
+        for var in self.value_vars.values():
+            x = min(cap, factor * var.x)
+            if quantize is not None:
+                x = min(cap, quantize(x))
+            new_vals[var.id] = x
+        return self.with_values(new_vals)
+
+    def prune_to_cover(self, max_members: int | None = None) -> "CoveringInstance":
+        """Lemma 3.13 edge removal: each constraint keeps a smallest prefix
+        of members (largest values first) that already meets its demand.
+
+        With a ``1/F``-fractional input, at most ``F`` members survive per
+        constraint, so the left degree of ``B`` drops to ``F``.
+        """
+        new_cons = []
+        for cn in self.constraints.values():
+            ordered = sorted(
+                cn.members, key=lambda u: (-self.value_vars[u].x, u)
+            )
+            kept: List[int] = []
+            total = 0.0
+            for u in ordered:
+                if total >= cn.c - 1e-12:
+                    break
+                kept.append(u)
+                total += self.value_vars[u].x
+            if total < cn.c - 1e-9:
+                raise InfeasibleSolutionError(
+                    f"constraint {cn.id} cannot be covered by its members "
+                    f"(sum {total:.4g} < c {cn.c:.4g}); prune requires a feasible input"
+                )
+            if max_members is not None and len(kept) > max_members:
+                raise InfeasibleSolutionError(
+                    f"constraint {cn.id} kept {len(kept)} members, limit {max_members}; "
+                    "input fractionality too low for the requested bound"
+                )
+            new_cons.append(replace(cn, members=tuple(sorted(kept))))
+        return CoveringInstance(list(self.value_vars.values()), new_cons)
+
+    def split_constraints(
+        self,
+        original_values: Mapping[int, float],
+        participation_threshold: float,
+        s: int,
+    ) -> "CoveringInstance":
+        """Lemma 3.14 constraint splitting.
+
+        Members with current value ``x >= participation_threshold`` (the
+        nodes that will not take part in the rounding) stay on the first
+        copy ``v_1``.  If at most ``s`` participating members remain they
+        join ``v_1`` too; otherwise they are distributed over copies
+        ``v_2..v_k`` holding between ``s`` and ``2s`` members each.  Each
+        copy's demand is ``min(1, sum of its members' original values)``,
+        so the demands are met with the pre-boost values and sum up to at
+        least the original demand (the paper states ``max``; ``min`` is the
+        reading consistent with Definition 2.1's ``c in [0,1]``).
+        """
+        if s < 1:
+            raise InfeasibleSolutionError(f"split width s must be >= 1, got {s}")
+        new_cons: List[Constraint] = []
+        next_id = 0
+
+        def share(members: Iterable[int]) -> float:
+            return min(1.0, sum(original_values.get(u, 0.0) for u in members))
+
+        for cid in sorted(self.constraints):
+            cn = self.constraints[cid]
+            high = [u for u in cn.members
+                    if self.value_vars[u].x >= participation_threshold]
+            low = [u for u in cn.members
+                   if self.value_vars[u].x < participation_threshold]
+            if len(low) <= s:
+                members = tuple(sorted(high + low))
+                new_cons.append(
+                    Constraint(id=next_id, c=share(members), members=members,
+                               origin=cn.origin, join_weight=cn.join_weight)
+                )
+                next_id += 1
+            else:
+                if high:
+                    members = tuple(sorted(high))
+                    new_cons.append(
+                        Constraint(id=next_id, c=share(members), members=members,
+                                   origin=cn.origin, join_weight=cn.join_weight)
+                    )
+                    next_id += 1
+                low_sorted = sorted(low)
+                k = max(1, len(low_sorted) // s)
+                base, extra = divmod(len(low_sorted), k)
+                start = 0
+                for j in range(k):
+                    size = base + (1 if j < extra else 0)
+                    chunk = tuple(low_sorted[start : start + size])
+                    start += size
+                    if not s <= len(chunk) <= 2 * s:
+                        raise InfeasibleSolutionError(
+                            f"split produced a chunk of {len(chunk)} members "
+                            f"outside [{s}, {2 * s}]"
+                        )
+                    new_cons.append(
+                        Constraint(id=next_id, c=share(chunk), members=chunk,
+                                   origin=cn.origin, join_weight=cn.join_weight)
+                    )
+                    next_id += 1
+        return CoveringInstance(list(self.value_vars.values()), new_cons)
+
+    # -- conflict structure (for distance-2 colorings, Lemma 3.12) ----------
+
+    def value_conflict_graph(self, restrict: Set[int] | None = None) -> nx.Graph:
+        """Graph on value variables; edge iff two variables share a
+        constraint.  A proper coloring of this graph is exactly a distance-2
+        coloring of the right-hand side of ``B``.
+        """
+        conflict = nx.Graph()
+        vars_in = set(self.value_vars) if restrict is None else set(restrict)
+        conflict.add_nodes_from(sorted(vars_in))
+        for cn in self.constraints.values():
+            members = [u for u in cn.members if u in vars_in]
+            for i, u in enumerate(members):
+                for w in members[i + 1 :]:
+                    conflict.add_edge(u, w)
+        return conflict
+
+    # -- projection back to the original problem ----------------------------
+
+    def project(
+        self, final_values: Mapping[int, float], joined_origins: Iterable[int]
+    ) -> Dict[int, float]:
+        """Map rounded variable values back to origins.
+
+        An origin's value is the max over its variables' values, forced to 1
+        if the origin joined in phase two ("a node sets its value to the
+        maximum of the values of its two copies").
+        """
+        out: Dict[int, float] = {}
+        for var in self.value_vars.values():
+            x = final_values.get(var.id, 0.0)
+            if x > out.get(var.origin, 0.0):
+                out[var.origin] = x
+        for origin in joined_origins:
+            out[origin] = 1.0
+        return out

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so downstream users can catch library failures with a
+single ``except`` clause while still distinguishing the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph input violates a structural precondition.
+
+    Examples: non-normalized node labels, disconnected input to an algorithm
+    that requires connectivity, or an empty graph.
+    """
+
+
+class CongestError(ReproError):
+    """The CONGEST simulator detected a protocol violation."""
+
+
+class MessageTooLargeError(CongestError):
+    """A node program attempted to send a message above the bit budget."""
+
+    def __init__(self, sender: int, receiver: int, bits: int, budget: int):
+        self.sender = sender
+        self.receiver = receiver
+        self.bits = bits
+        self.budget = budget
+        super().__init__(
+            f"message from {sender} to {receiver} is {bits} bits, "
+            f"budget is {budget} bits"
+        )
+
+
+class SimulationLimitError(CongestError):
+    """The simulator exceeded the configured maximum number of rounds."""
+
+
+class InfeasibleSolutionError(ReproError):
+    """A (fractional) dominating set or covering solution is infeasible."""
+
+
+class DerandomizationError(ReproError):
+    """The conditional-expectation engine detected an internal inconsistency.
+
+    This is raised, for instance, if the pessimistic estimator increases
+    after fixing a coin, which would falsify the supermartingale invariant
+    the method of conditional expectations relies on.
+    """
+
+
+class DecompositionError(ReproError):
+    """A network decomposition violates Definition 3.1 / 3.2 invariants."""
+
+
+class ColoringError(ReproError):
+    """A produced coloring is not proper for its conflict relation."""
+
+
+class RandomnessError(ReproError):
+    """Invalid parameters for the k-wise independent generator."""
+
+
+class LPError(ReproError):
+    """The LP oracle failed to produce a feasible solution."""

@@ -1,0 +1,15 @@
+"""Experiment implementations E1-E12 (see DESIGN.md Section 2).
+
+Each module exposes ``run(fast: bool = True) -> ExperimentReport``; the
+``benchmarks/`` tree wraps them in pytest-benchmark targets and prints the
+tables.  ``fast=True`` sweeps a reduced grid suitable for CI; the full grid
+is selected by ``REPRO_FULL=1`` in the environment.
+"""
+
+from repro.experiments.harness import (
+    ExperimentReport,
+    fast_mode,
+    standard_suite,
+)
+
+__all__ = ["ExperimentReport", "standard_suite", "fast_mode"]

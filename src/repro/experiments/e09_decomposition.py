@@ -1,0 +1,61 @@
+"""E9 — Definition 3.2 substrate: network decomposition quality.
+
+Measures the carved decomposition's ``(d, c)`` parameters against the
+``O(log n)`` yardstick across the suite and an ``n``-sweep, and validates
+every Definition 3.1/3.2 invariant (partition, connectivity, tree depth,
+2-hop separation of same-color clusters).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.decomposition.ball_carving import carve_decomposition
+from repro.decomposition.cluster_graph import validate_decomposition
+from repro.errors import DecompositionError
+from repro.experiments.harness import ExperimentReport, standard_suite
+from repro.graphs.generators import gnp_graph
+
+COLUMNS = [
+    "graph", "n", "clusters", "colors", "max_depth", "log2_n",
+    "depth/log", "valid",
+]
+
+
+def run(fast: bool = True) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment="E9",
+        claim="Ball-carving 2-hop decomposition: diameter/colors vs log n",
+        columns=COLUMNS,
+    )
+    instances = list(standard_suite(fast))
+    for inst in instances:
+        _measure(report, inst.name, inst.graph)
+    # n-sweep on one family (series view).
+    sweep_sizes = (40, 80, 160) if fast else (60, 120, 240, 480)
+    for n in sweep_sizes:
+        _measure(report, f"sweep-gnp-{n}", gnp_graph(n, min(0.5, 4.0 / n), seed=3))
+    return report
+
+
+def _measure(report: ExperimentReport, name: str, graph) -> None:
+    dec = carve_decomposition(graph, separation_k=2)
+    try:
+        validate_decomposition(dec)
+        valid = True
+    except DecompositionError:
+        valid = False
+    n = graph.number_of_nodes()
+    log_n = max(1.0, math.log2(n))
+    report.add_row(
+        graph=name,
+        n=n,
+        clusters=dec.num_clusters,
+        colors=dec.num_colors,
+        max_depth=dec.max_depth,
+        log2_n=round(log_n, 1),
+        **{"depth/log": round(dec.max_depth / log_n, 2)},
+        valid=valid,
+    )
+    report.check("invariants", valid)
+    report.check("depth_log_bounded", dec.max_depth <= log_n + 1)

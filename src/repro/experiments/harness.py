@@ -1,0 +1,69 @@
+"""Shared experiment harness: suite selection, report container, rendering."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from repro.graphs.suite import SuiteInstance, benchmark_suite
+from repro.util.tables import TableFormatter
+
+#: Families exercised in fast (CI) mode.
+FAST_FAMILIES = ("gnp", "geometric", "tree")
+FAST_SIZES = (40, 80)
+FULL_SIZES = (60, 120, 240)
+
+
+def fast_mode() -> bool:
+    """Fast unless ``REPRO_FULL=1`` is exported."""
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+def standard_suite(fast: bool | None = None) -> Iterator[SuiteInstance]:
+    """The instance sweep shared by the experiment tables."""
+    if fast is None:
+        fast = fast_mode()
+    if fast:
+        return benchmark_suite(sizes=FAST_SIZES, families_subset=FAST_FAMILIES)
+    return benchmark_suite(sizes=FULL_SIZES)
+
+
+@dataclass
+class ExperimentReport:
+    """Structured rows plus a rendered table.
+
+    ``rows`` keeps raw values for assertions in tests; ``checks`` records
+    named boolean guarantees so a report can certify itself.
+    """
+
+    experiment: str
+    claim: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def check(self, name: str, ok: bool) -> None:
+        self.checks[name] = self.checks.get(name, True) and bool(ok)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        table = TableFormatter(list(self.columns), title=f"[{self.experiment}] {self.claim}")
+        for row in self.rows:
+            table.add_row([row.get(c, "") for c in self.columns])
+        lines = [table.render()]
+        if self.checks:
+            status = ", ".join(
+                f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in sorted(self.checks.items())
+            )
+            lines.append(f"checks: {status}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Distributed threshold water-filling covering solver.
+
+A round-by-round multiplicative scheme in the spirit of the [KMW06]
+LP algorithm: a global degree threshold ``theta`` sweeps down from
+``Delta~`` by ``(1+gamma)`` factors; while any node is adjacent to at least
+``theta`` uncovered constraints it raises its value by ``gamma / theta``
+(covering at least ``theta`` constraints per ``gamma/theta`` units of cost —
+the dual-fitting argument that keeps the solution within ``O((1+gamma)
+ln Delta~)`` of the LP optimum, and empirically within a few percent; E3
+measures the ratio).  Every iteration costs two CONGEST rounds: one to
+announce values (so constraints learn their coverage) and one to announce
+coverage (so nodes learn their dynamic degree).
+
+The sweep is fully deterministic and node-local given the shared round
+counter, so it doubles as a deterministic Part-I provider whose round count
+is *measured* rather than charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graphs.normalize import require_normalized
+
+
+@dataclass(frozen=True)
+class DistributedLPResult:
+    """Feasible fractional dominating set with measured round cost."""
+
+    values: Dict[int, float]
+    size: float
+    rounds: int
+    iterations: int
+    threshold_trace: List[float]
+
+
+def distributed_fractional_mds(
+    graph: nx.Graph, gamma: float = 0.25, max_iterations: int = 100_000
+) -> DistributedLPResult:
+    """Run the water-filling sweep until every constraint is covered."""
+    require_normalized(graph)
+    if not 0.0 < gamma <= 1.0:
+        raise GraphError(f"gamma must be in (0, 1], got {gamma}")
+    nodes = sorted(graph.nodes())
+    if not nodes:
+        raise GraphError("empty graph")
+    neighborhoods = {
+        v: sorted(set(graph.neighbors(v)) | {v}) for v in nodes
+    }
+    delta_tilde = max(len(nb) for nb in neighborhoods.values())
+
+    x: Dict[int, float] = {v: 0.0 for v in nodes}
+    coverage: Dict[int, float] = {v: 0.0 for v in nodes}
+    theta = float(delta_tilde)
+    rounds = 0
+    iterations = 0
+    trace = [theta]
+
+    def uncovered(v: int) -> bool:
+        return coverage[v] < 1.0 - 1e-12
+
+    active = {v for v in nodes if uncovered(v)}
+    while active:
+        iterations += 1
+        if iterations > max_iterations:
+            raise GraphError(
+                f"water-filling failed to converge in {max_iterations} iterations"
+            )
+        # Dynamic degree: how many uncovered constraints each node touches.
+        dyn: Dict[int, int] = {v: 0 for v in nodes}
+        for v in active:
+            for u in neighborhoods[v]:
+                dyn[u] += 1
+        raisers = [u for u in nodes if dyn[u] >= theta and x[u] < 1.0]
+        rounds += 2  # value announcement + coverage announcement
+        if raisers:
+            increment = gamma / theta
+            for u in raisers:
+                new_value = min(1.0, x[u] + increment)
+                delta = new_value - x[u]
+                if delta <= 0.0:
+                    continue
+                x[u] = new_value
+                for v in graph.neighbors(u):
+                    coverage[v] += delta
+                coverage[u] += delta
+            active = {v for v in active if uncovered(v)}
+        else:
+            theta = max(1.0, theta / (1.0 + gamma))
+            trace.append(theta)
+            if theta == 1.0 and not raisers and active:
+                # At theta == 1 every node adjacent to an uncovered
+                # constraint qualifies; if none does but constraints remain
+                # uncovered, those constraints' own nodes must raise.
+                for v in sorted(active):
+                    x[v] = 1.0
+                    for u in graph.neighbors(v):
+                        coverage[u] += 1.0
+                    coverage[v] += 1.0
+                active = {v for v in active if uncovered(v)}
+
+    return DistributedLPResult(
+        values=dict(x),
+        size=sum(x.values()),
+        rounds=rounds,
+        iterations=iterations,
+        threshold_trace=trace,
+    )

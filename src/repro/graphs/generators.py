@@ -1,0 +1,139 @@
+"""Deterministic (seeded) graph generators for workloads.
+
+The paper motivates MDS with clustering in wireless ad-hoc / sensor networks,
+so the suite leans on random geometric (unit-disk) graphs; classic families
+(G(n,p), preferential attachment, grids, trees, caterpillars, regular graphs)
+round out the sweep so degree distributions from near-regular to heavy-tailed
+are covered.  All generators return normalized graphs (labels ``0..n-1``)
+and take an explicit ``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graphs.normalize import normalize_graph
+
+
+def _ensure_connected(graph: nx.Graph, rng: random.Random) -> nx.Graph:
+    """Connect components by linking a random node of each component to the
+    largest component (adds the minimum number of edges)."""
+    if graph.number_of_nodes() == 0:
+        return graph
+    components = sorted(nx.connected_components(graph), key=len, reverse=True)
+    anchor_pool = sorted(components[0])
+    for comp in components[1:]:
+        u = rng.choice(sorted(comp))
+        v = rng.choice(anchor_pool)
+        graph.add_edge(u, v)
+    return graph
+
+
+def gnp_graph(n: int, p: float, seed: int = 0, connected: bool = True) -> nx.Graph:
+    """Erdos-Renyi ``G(n, p)``; optionally patched to be connected."""
+    if n <= 0:
+        raise GraphError("n must be positive")
+    rng = random.Random(seed)
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    if connected:
+        _ensure_connected(graph, rng)
+    return normalize_graph(graph)
+
+
+def geometric_graph(
+    n: int, radius: float | None = None, seed: int = 0, connected: bool = True
+) -> nx.Graph:
+    """Random geometric (unit-disk) graph: the sensor-network workload.
+
+    ``radius`` defaults to the connectivity threshold
+    ``sqrt(2 * ln(n) / (pi * n))`` so average degree stays ~logarithmic.
+    """
+    if n <= 0:
+        raise GraphError("n must be positive")
+    if radius is None:
+        radius = math.sqrt(2.0 * math.log(max(2, n)) / (math.pi * n))
+    rng = random.Random(seed)
+    graph = nx.random_geometric_graph(n, radius, seed=seed)
+    if connected:
+        _ensure_connected(graph, rng)
+    return normalize_graph(graph)
+
+
+def preferential_attachment_graph(n: int, m: int = 2, seed: int = 0) -> nx.Graph:
+    """Barabasi-Albert preferential attachment: heavy-tailed degrees."""
+    if n <= m:
+        raise GraphError("n must exceed m")
+    return normalize_graph(nx.barabasi_albert_graph(n, m, seed=seed))
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """2D grid: the bounded-degree, large-diameter extreme."""
+    return normalize_graph(nx.grid_2d_graph(rows, cols))
+
+
+def ring_graph(n: int) -> nx.Graph:
+    """Cycle on ``n`` nodes."""
+    return normalize_graph(nx.cycle_graph(n))
+
+
+def random_tree(n: int, seed: int = 0) -> nx.Graph:
+    """Uniform random labelled tree (Pruefer sequence)."""
+    if n <= 0:
+        raise GraphError("n must be positive")
+    if n <= 2:
+        return normalize_graph(nx.path_graph(n))
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    return normalize_graph(nx.from_prufer_sequence(prufer))
+
+
+def caterpillar_graph(spine: int, legs_per_node: int = 2) -> nx.Graph:
+    """Caterpillar: a path spine with pendant legs.
+
+    Its MDS is essentially the spine, a classic adversarial shape for greedy.
+    """
+    graph = nx.path_graph(spine)
+    next_id = spine
+    for v in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(v, next_id)
+            next_id += 1
+    return normalize_graph(graph)
+
+
+def regular_graph(n: int, d: int, seed: int = 0) -> nx.Graph:
+    """Random ``d``-regular graph."""
+    if (n * d) % 2 != 0:
+        raise GraphError("n*d must be even for a d-regular graph")
+    return normalize_graph(nx.random_regular_graph(d, n, seed=seed))
+
+
+def star_graph(n: int) -> nx.Graph:
+    """Star with ``n`` leaves: MDS is a single node, Delta = n."""
+    return normalize_graph(nx.star_graph(n))
+
+
+def clique_graph(n: int) -> nx.Graph:
+    """Complete graph: MDS is a single node, maximal density."""
+    return normalize_graph(nx.complete_graph(n))
+
+
+def dumbbell_graph(clique_size: int, path_length: int) -> nx.Graph:
+    """Two cliques joined by a path: dense ends, sparse middle, a shape where
+    the domination need is heterogeneous (good crossover probe)."""
+    graph = nx.complete_graph(clique_size)
+    offset = clique_size
+    other = nx.complete_graph(clique_size)
+    graph = nx.disjoint_union(graph, other)
+    prev = 0
+    next_id = 2 * clique_size
+    for _ in range(path_length):
+        graph.add_edge(prev, next_id)
+        prev = next_id
+        next_id += 1
+    graph.add_edge(prev, offset)
+    return normalize_graph(graph)

@@ -1,0 +1,21 @@
+"""Top-level MDS algorithms: the Theorem 1.1 / 1.2 pipelines and the
+randomized counterpart used for comparison experiments.
+"""
+
+from repro.mds.pipeline import MDSResult, PipelineParams, StageTrace
+from repro.mds.deterministic import (
+    approx_mds_coloring,
+    approx_mds_decomposition,
+)
+from repro.mds.local_model import approx_mds_local
+from repro.mds.randomized import approx_mds_randomized
+
+__all__ = [
+    "MDSResult",
+    "PipelineParams",
+    "StageTrace",
+    "approx_mds_coloring",
+    "approx_mds_decomposition",
+    "approx_mds_local",
+    "approx_mds_randomized",
+]

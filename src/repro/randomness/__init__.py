@@ -1,0 +1,14 @@
+"""k-wise independent randomness (paper Lemma 3.3).
+
+A random seed of ``K = k * m`` fair bits is interpreted as the ``k``
+coefficients of a degree-``(k-1)`` polynomial over ``GF(2^m)``.  Evaluating
+the polynomial at distinct field points yields ``2^m``-valued outputs that
+are exactly ``k``-wise independent; comparing an output against a
+transmittable probability produces the biased coins the rounding processes
+need.
+"""
+
+from repro.randomness.gf2 import GF2m, find_irreducible
+from repro.randomness.kwise import KWiseCoins, seed_bits_required
+
+__all__ = ["GF2m", "find_irreducible", "KWiseCoins", "seed_bits_required"]

@@ -1,0 +1,145 @@
+"""Binary finite field ``GF(2^m)`` arithmetic on Python integers.
+
+Field elements are ``m``-bit integers; addition is XOR; multiplication is
+carry-less multiplication reduced modulo a fixed irreducible polynomial.  The
+irreducible modulus is found deterministically at construction time with
+Rabin's irreducibility test, so the implementation is self-contained for any
+``m`` up to 64 (the library uses ``m`` in the 8..32 range).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.errors import RandomnessError
+
+
+def _poly_degree(p: int) -> int:
+    return p.bit_length() - 1
+
+
+def _poly_mulmod(a: int, b: int, mod: int) -> int:
+    """Carry-less multiply ``a * b`` reduced modulo polynomial ``mod``."""
+    deg = _poly_degree(mod)
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a >> deg & 1:
+            a ^= mod
+    return result
+
+
+def _poly_mod(a: int, mod: int) -> int:
+    """Reduce polynomial ``a`` modulo ``mod``."""
+    dm = _poly_degree(mod)
+    da = _poly_degree(a)
+    while da >= dm and a:
+        a ^= mod << (da - dm)
+        da = _poly_degree(a)
+    return a
+
+
+def _poly_gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, _poly_mod(a, b)
+    return a
+
+
+def _poly_pow_x(exponent_log2: int, mod: int) -> int:
+    """Compute ``x^(2^exponent_log2) mod mod`` by repeated squaring."""
+    result = 2  # the polynomial "x"
+    for _ in range(exponent_log2):
+        result = _poly_mulmod(result, result, mod)
+    return result
+
+
+def _prime_factors(n: int) -> List[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def _is_irreducible(poly: int, m: int) -> bool:
+    """Rabin's irreducibility test for a degree-``m`` polynomial over GF(2)."""
+    # x^(2^m) == x (mod poly)
+    if _poly_pow_x(m, poly) != 2:
+        return False
+    for q in _prime_factors(m):
+        h = _poly_pow_x(m // q, poly) ^ 2  # x^(2^(m/q)) - x
+        if _poly_gcd(poly, h) != 1:
+            return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def find_irreducible(m: int) -> int:
+    """Smallest irreducible degree-``m`` polynomial over GF(2) (as an int).
+
+    Deterministic: scans candidates ``x^m + r`` for increasing ``r`` with an
+    odd constant term (a necessary condition), so repeated runs agree.
+    """
+    if m < 1 or m > 64:
+        raise RandomnessError(f"field degree m must be in 1..64, got {m}")
+    if m == 1:
+        return 0b11  # x + 1
+    top = 1 << m
+    for r in range(1, top, 2):  # constant term must be 1
+        candidate = top | r
+        if _is_irreducible(candidate, m):
+            return candidate
+    raise RandomnessError(f"no irreducible polynomial of degree {m} found")
+
+
+class GF2m:
+    """The field ``GF(2^m)`` with fixed deterministic modulus.
+
+    Elements are ints in ``[0, 2^m)``.
+    """
+
+    def __init__(self, m: int):
+        self.m = m
+        self.modulus = find_irreducible(m)
+        self.order = 1 << m
+
+    def add(self, a: int, b: int) -> int:
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        return _poly_mulmod(a, b, self.modulus)
+
+    def pow(self, a: int, e: int) -> int:
+        result = 1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def eval_poly(self, coefficients: List[int], point: int) -> int:
+        """Horner evaluation of ``sum coefficients[i] * point^i``."""
+        acc = 0
+        for c in reversed(coefficients):
+            acc = self.mul(acc, point) ^ c
+        return acc
+
+    def element(self, value: int) -> int:
+        """Validate/wrap an integer as a field element."""
+        if not 0 <= value < self.order:
+            raise RandomnessError(
+                f"value {value} outside GF(2^{self.m}) range [0, {self.order})"
+            )
+        return value

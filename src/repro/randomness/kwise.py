@@ -1,0 +1,109 @@
+"""k-wise independent biased coins from a short shared seed (Lemma 3.3).
+
+Construction: a seed of ``K = k * m`` fair bits is split into ``k``
+coefficients of a polynomial ``h`` of degree ``k-1`` over ``GF(2^m)``.  The
+value for index ``i`` is ``h(alpha_i)`` where ``alpha_i`` is the ``i``-th
+field element; any ``k`` evaluations of a random degree-``(k-1)`` polynomial
+at distinct points are independent and uniform, so the derived coins
+``coin_i = [h(alpha_i) < p_i * 2^m]`` are ``k``-wise independent with
+``Pr(coin_i = 1) = p_i`` exactly, for probabilities ``p_i`` that are
+multiples of ``2^-m`` (transmittable values with ``iota <= m``).
+
+This module is used by the randomized executors (to validate Lemmas 3.6/3.7
+under limited independence, experiment E4) and documents the seed-length
+accounting for Lemma 3.4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.errors import RandomnessError
+from repro.randomness.gf2 import GF2m
+
+
+def seed_bits_required(k: int, m: int) -> int:
+    """Seed length ``K = k * m`` in fair bits (Lemma 3.3's ``O(k log^2 N)``
+    with the polynomial construction's exact constant)."""
+    return k * m
+
+
+class KWiseCoins:
+    """A family of ``k``-wise independent biased coins on indices
+    ``0..capacity-1``.
+
+    Parameters
+    ----------
+    k:
+        Independence parameter (any ``k`` coins are jointly independent).
+    m:
+        Field degree; probabilities live on the ``2^-m`` grid and
+        ``capacity <= 2^m`` indices are supported.
+    seed_bits:
+        Optional explicit seed as a sequence of 0/1 ints of length ``k*m``;
+        if omitted, ``rng`` (or a fresh :class:`random.Random`) draws it.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        m: int = 16,
+        seed_bits: Sequence[int] | None = None,
+        rng: random.Random | None = None,
+    ):
+        if k < 1:
+            raise RandomnessError(f"independence k must be >= 1, got {k}")
+        self.k = k
+        self.field = GF2m(m)
+        self.m = m
+        if seed_bits is None:
+            rng = rng or random.Random()
+            seed_bits = [rng.randrange(2) for _ in range(seed_bits_required(k, m))]
+        seed_bits = list(seed_bits)
+        if len(seed_bits) != seed_bits_required(k, m):
+            raise RandomnessError(
+                f"seed must have {seed_bits_required(k, m)} bits, got {len(seed_bits)}"
+            )
+        if any(b not in (0, 1) for b in seed_bits):
+            raise RandomnessError("seed bits must be 0/1")
+        self.seed_bits: List[int] = seed_bits
+        self.coefficients = [
+            self._bits_to_int(seed_bits[i * m : (i + 1) * m]) for i in range(k)
+        ]
+
+    @staticmethod
+    def _bits_to_int(bits: Sequence[int]) -> int:
+        value = 0
+        for b in bits:
+            value = (value << 1) | b
+        return value
+
+    @property
+    def seed_length(self) -> int:
+        """Seed length in bits (the quantity Lemma 3.4 fixes one by one)."""
+        return len(self.seed_bits)
+
+    def uniform_value(self, index: int) -> int:
+        """The ``m``-bit uniform value for ``index`` (k-wise independent)."""
+        point = self.field.element(index)
+        return self.field.eval_poly(self.coefficients, point)
+
+    def coin(self, index: int, probability_numerator: int) -> bool:
+        """Biased coin for ``index`` with ``Pr(1) = numerator / 2^m``.
+
+        ``numerator`` must be in ``[0, 2^m]``.
+        """
+        if not 0 <= probability_numerator <= self.field.order:
+            raise RandomnessError(
+                f"probability numerator {probability_numerator} outside "
+                f"[0, {self.field.order}]"
+            )
+        return self.uniform_value(index) < probability_numerator
+
+    def coin_float(self, index: int, probability: float) -> bool:
+        """Biased coin with a float probability snapped *down* onto the
+        ``2^-m`` grid (so the realized probability never exceeds the
+        requested one)."""
+        numerator = int(probability * self.field.order)
+        return self.coin(index, numerator)

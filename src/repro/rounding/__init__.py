@@ -1,0 +1,23 @@
+"""The abstract randomized rounding process (Section 3.1) and its two
+instantiations: one-shot rounding and factor-two rounding (Section 3.2).
+"""
+
+from repro.rounding.abstract import (
+    RoundingOutcome,
+    RoundingScheme,
+    execute_rounding,
+    expected_output_size,
+)
+from repro.rounding.schemes import factor_two_scheme, one_shot_scheme
+from repro.rounding.coins import independent_coins, kwise_coins
+
+__all__ = [
+    "RoundingOutcome",
+    "RoundingScheme",
+    "execute_rounding",
+    "expected_output_size",
+    "factor_two_scheme",
+    "one_shot_scheme",
+    "independent_coins",
+    "kwise_coins",
+]

@@ -1,0 +1,187 @@
+"""Abstract randomized rounding process (paper Section 3.1).
+
+Input: a covering instance with values ``x(u)`` and per-variable rounding
+probabilities ``p(u) >= x(u)``.
+
+* Phase one: every variable independently becomes ``X_u = x(u)/p(u)`` with
+  probability ``p(u)`` and ``0`` otherwise (variables with ``p(u) = 1`` keep
+  their value deterministically — they "do not take part in the rounding").
+* Phase two: every constraint that is violated after phase one makes its
+  origin join the solution with value 1.
+
+Lemma 3.1 gives (1) feasibility of the output with fractionality
+``min_u x(u)/p(u)`` and (2) expected size ``A + sum_v Pr(E_v)``; both are
+exercised directly by the test-suite via :func:`execute_rounding` and
+:func:`expected_output_size`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Set, Tuple
+
+from repro.domsets.covering import CoveringInstance
+from repro.errors import InfeasibleSolutionError
+
+
+@dataclass(frozen=True)
+class RoundingScheme:
+    """A covering instance paired with rounding probabilities.
+
+    ``instance`` already carries the boosted values (``min(1, ln(D~) x')``
+    for one-shot, ``min(1, (1+eps) x')`` for factor-two); ``p`` maps every
+    variable id to its rounding probability.
+    """
+
+    instance: CoveringInstance
+    p: Mapping[int, float]
+    name: str
+    #: scheme parameters, kept for traceability in experiment output
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for u, var in self.instance.value_vars.items():
+            pu = self.p.get(u, 1.0)
+            if not 0.0 < pu <= 1.0:
+                raise InfeasibleSolutionError(
+                    f"probability p({u}) = {pu} outside (0, 1]"
+                )
+            if pu + 1e-12 < var.x:
+                raise InfeasibleSolutionError(
+                    f"scheme requires p(u) >= x(u); var {u} has p {pu} < x {var.x}"
+                )
+
+    def success_value(self, u: int) -> float:
+        """``x(u)/p(u)``: the variable's value if its coin succeeds."""
+        var = self.instance.value_vars[u]
+        pu = self.p.get(u, 1.0)
+        return var.x / pu if pu > 0 else 0.0
+
+    def participating(self) -> List[int]:
+        """Variables that flip a real coin (``p not in {0, 1}`` and x > 0)."""
+        return sorted(
+            u
+            for u, var in self.instance.value_vars.items()
+            if 0.0 < self.p.get(u, 1.0) < 1.0 and var.x > 0.0
+        )
+
+    @property
+    def fractionality_after(self) -> float:
+        """``min_u x(u)/p(u)`` over non-zero variables (Lemma 3.1 part 1)."""
+        vals = [
+            self.success_value(u)
+            for u, var in self.instance.value_vars.items()
+            if var.x > 0
+        ]
+        return min(vals) if vals else float("inf")
+
+
+@dataclass
+class RoundingOutcome:
+    """Result of executing both phases of the process."""
+
+    phase_one: Dict[int, float]
+    violated_constraints: List[int]
+    joined_origins: Set[int]
+    projected: Dict[int, float]
+    #: per-copy size (counts every violated constraint's join weight, which
+    #: is the quantity the paper's expectation bounds control)
+    accounted_size: float
+
+    def origin_set(self, tol: float = 1e-9) -> Set[int]:
+        """Origins with final value 1 (integral solutions only)."""
+        return {o for o, x in self.projected.items() if x >= 1.0 - tol}
+
+
+def execute_rounding(
+    scheme: RoundingScheme, coin: Callable[[int], bool]
+) -> RoundingOutcome:
+    """Run phase one with the supplied coins and phase two deterministically.
+
+    ``coin(u)`` is consulted only for participating variables; it may be a
+    true RNG, a k-wise independent generator, or the deterministic decisions
+    produced by the conditional-expectation engine.
+    """
+    inst = scheme.instance
+    phase_one: Dict[int, float] = {}
+    for u, var in inst.value_vars.items():
+        pu = scheme.p.get(u, 1.0)
+        if var.x <= 0.0:
+            phase_one[u] = 0.0
+        elif pu >= 1.0:
+            phase_one[u] = var.x
+        else:
+            phase_one[u] = scheme.success_value(u) if coin(u) else 0.0
+
+    violated = inst.violations(phase_one)
+    joined = {inst.constraints[cid].origin for cid in violated}
+    projected = inst.project(phase_one, joined)
+
+    accounted = sum(
+        inst.value_vars[u].weight * x for u, x in phase_one.items()
+    ) + sum(inst.constraints[cid].join_weight for cid in violated)
+    return RoundingOutcome(
+        phase_one=phase_one,
+        violated_constraints=sorted(violated),
+        joined_origins=joined,
+        projected=projected,
+        accounted_size=accounted,
+    )
+
+
+def expected_output_size(
+    scheme: RoundingScheme, uncovered_probabilities: Mapping[int, float]
+) -> float:
+    """Lemma 3.1 part 2: ``A + sum_v Pr(E_v)`` (weighted).
+
+    ``uncovered_probabilities`` maps constraint id to (an upper bound on)
+    the probability that the constraint is violated after phase one.
+    """
+    a = scheme.instance.size()
+    penalty = sum(
+        scheme.instance.constraints[cid].join_weight * pr
+        for cid, pr in uncovered_probabilities.items()
+    )
+    return a + penalty
+
+
+def exact_uncovered_probability(
+    scheme: RoundingScheme, cid: int, enum_limit: int = 20
+) -> float:
+    """Exact ``Pr(E_v)`` for one constraint by enumerating coin outcomes.
+
+    Exponential in the number of participating members — a test oracle for
+    small instances, not a production path.
+    """
+    inst = scheme.instance
+    cn = inst.constraints[cid]
+    deterministic = 0.0
+    coins: List[Tuple[float, float]] = []  # (success value, probability)
+    for u in cn.members:
+        var = inst.value_vars[u]
+        pu = scheme.p.get(u, 1.0)
+        if var.x <= 0.0:
+            continue
+        if pu >= 1.0:
+            deterministic += var.x
+        else:
+            coins.append((var.x / pu, pu))
+    if deterministic >= cn.c - 1e-12:
+        return 0.0
+    if len(coins) > enum_limit:
+        raise InfeasibleSolutionError(
+            f"constraint {cid} has {len(coins)} coins, enumeration limit {enum_limit}"
+        )
+    total = 0.0
+    for mask in range(1 << len(coins)):
+        prob = 1.0
+        sum_x = deterministic
+        for i, (w, p) in enumerate(coins):
+            if mask >> i & 1:
+                prob *= p
+                sum_x += w
+            else:
+                prob *= 1.0 - p
+        if sum_x < cn.c - 1e-12:
+            total += prob
+    return total

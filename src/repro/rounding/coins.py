@@ -1,0 +1,71 @@
+"""Coin sources for the randomized executions of the rounding process.
+
+Three kinds of coins drive :func:`repro.rounding.abstract.execute_rounding`:
+
+* fully independent coins (a seeded :class:`random.Random`),
+* ``k``-wise independent coins from a shared seed (Lemma 3.3 machinery, used
+  to validate Lemmas 3.6/3.7 under limited independence in experiment E4),
+* deterministic coins produced by the conditional-expectation engine
+  (:mod:`repro.derand`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Mapping
+
+from repro.errors import RandomnessError
+from repro.randomness.kwise import KWiseCoins
+from repro.rounding.abstract import RoundingScheme
+
+
+def independent_coins(
+    scheme: RoundingScheme, rng: random.Random
+) -> Callable[[int], bool]:
+    """Fully independent biased coins; ``coin(u)`` succeeds w.p. ``p(u)``."""
+
+    def coin(u: int) -> bool:
+        return rng.random() < scheme.p[u]
+
+    return coin
+
+
+def kwise_coins(
+    scheme: RoundingScheme,
+    k: int,
+    m: int = 16,
+    rng: random.Random | None = None,
+    seed_bits=None,
+) -> Callable[[int], bool]:
+    """``k``-wise independent coins from one shared seed.
+
+    Every participating variable is assigned a distinct field point; its
+    probability is snapped *down* onto the ``2^-m`` grid (the transmittable
+    grid of Lemma 3.3), so realized success probabilities never exceed the
+    scheme's.  Raises if the instance has more participants than ``2^m``.
+    """
+    participants = scheme.participating()
+    if len(participants) > (1 << m):
+        raise RandomnessError(
+            f"{len(participants)} participants exceed field size 2^{m}"
+        )
+    index_of: Dict[int, int] = {u: i for i, u in enumerate(participants)}
+    family = KWiseCoins(k=k, m=m, seed_bits=seed_bits, rng=rng)
+    order = 1 << m
+    numerators: Dict[int, int] = {
+        u: int(scheme.p[u] * order) for u in participants
+    }
+
+    def coin(u: int) -> bool:
+        return family.coin(index_of[u], numerators[u])
+
+    return coin
+
+
+def fixed_coins(decisions: Mapping[int, bool]) -> Callable[[int], bool]:
+    """Deterministic coins from a precomputed decision map."""
+
+    def coin(u: int) -> bool:
+        return decisions[u]
+
+    return coin

@@ -1,0 +1,24 @@
+"""Minimum set cover via the dominating-set machinery (Section 5).
+
+"It is not hard to see that our algorithms can also be (almost directly)
+applied to the more general set cover problem": a set-cover instance *is* a
+:class:`~repro.domsets.covering.CoveringInstance` with sets as value
+variables and elements as constraints, so the LP + derandomized one-shot
+rounding pipeline applies verbatim.  A violated element constraint is
+repaired by its smallest covering set (the constraint's ``origin``).
+"""
+
+from repro.setcover.instance import SetCoverInstance, random_setcover_instance
+from repro.setcover.solve import (
+    SetCoverResult,
+    approx_min_set_cover,
+    greedy_set_cover,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "random_setcover_instance",
+    "SetCoverResult",
+    "approx_min_set_cover",
+    "greedy_set_cover",
+]

@@ -1,0 +1,131 @@
+"""Set cover instances and their covering-instance view."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
+
+from repro.domsets.covering import Constraint, CoveringInstance, ValueVar
+from repro.errors import InfeasibleSolutionError
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A finite universe and a family of subsets (optionally weighted)."""
+
+    sets: Dict[int, FrozenSet[int]]
+    universe: FrozenSet[int]
+    weights: Dict[int, float] | None = None
+
+    def __post_init__(self) -> None:
+        covered: Set[int] = set()
+        for sid, members in self.sets.items():
+            covered |= members
+        if not self.universe <= covered:
+            missing = sorted(self.universe - covered)
+            raise InfeasibleSolutionError(
+                f"universe elements {missing[:5]} covered by no set"
+            )
+
+    @classmethod
+    def from_iterables(
+        cls,
+        sets: Mapping[int, Iterable[int]],
+        universe: Iterable[int] | None = None,
+        weights: Mapping[int, float] | None = None,
+    ) -> "SetCoverInstance":
+        frozen = {int(k): frozenset(v) for k, v in sets.items()}
+        if universe is None:
+            uni: Set[int] = set()
+            for members in frozen.values():
+                uni |= members
+        else:
+            uni = set(universe)
+        return cls(
+            sets=frozen,
+            universe=frozenset(uni),
+            weights=dict(weights) if weights else None,
+        )
+
+    @property
+    def max_element_frequency(self) -> int:
+        """Largest number of sets covering one element (the ``Delta~``
+        analogue for the rounding boost)."""
+        freq: Dict[int, int] = {}
+        for members in self.sets.values():
+            for e in members:
+                freq[e] = freq.get(e, 0) + 1
+        return max((freq[e] for e in self.universe), default=1)
+
+    @property
+    def max_set_size(self) -> int:
+        return max((len(s) for s in self.sets.values()), default=0)
+
+    def weight_of(self, sid: int) -> float:
+        return self.weights.get(sid, 1.0) if self.weights else 1.0
+
+    def cover_weight(self, chosen: Iterable[int]) -> float:
+        return sum(self.weight_of(s) for s in set(chosen))
+
+    def is_cover(self, chosen: Iterable[int]) -> bool:
+        covered: Set[int] = set()
+        for sid in chosen:
+            covered |= self.sets[sid]
+        return self.universe <= covered
+
+    def to_covering(self) -> CoveringInstance:
+        """Sets become value variables, elements become constraints.
+
+        The constraint of element ``e`` designates the smallest-ID covering
+        set as its repair origin (phase two of the rounding).
+        """
+        value_vars = [
+            ValueVar(id=sid, x=0.0, origin=sid, weight=self.weight_of(sid))
+            for sid in sorted(self.sets)
+        ]
+        constraints: List[Constraint] = []
+        covering_sets: Dict[int, List[int]] = {e: [] for e in self.universe}
+        for sid in sorted(self.sets):
+            for e in self.sets[sid]:
+                if e in covering_sets:
+                    covering_sets[e].append(sid)
+        for idx, e in enumerate(sorted(self.universe)):
+            members = tuple(sorted(covering_sets[e]))
+            origin = members[0]
+            constraints.append(
+                Constraint(
+                    id=idx,
+                    c=1.0,
+                    members=members,
+                    origin=origin,
+                    join_weight=self.weight_of(origin),
+                )
+            )
+        return CoveringInstance(value_vars, constraints)
+
+
+def random_setcover_instance(
+    num_elements: int,
+    num_sets: int,
+    set_size: int,
+    seed: int = 0,
+    weighted: bool = False,
+) -> SetCoverInstance:
+    """Random instance where every element is guaranteed coverable."""
+    rng = random.Random(seed)
+    elements = list(range(num_elements))
+    sets: Dict[int, Set[int]] = {
+        sid: set(rng.sample(elements, min(set_size, num_elements)))
+        for sid in range(num_sets)
+    }
+    # Guarantee coverage: sprinkle missing elements round-robin.
+    covered: Set[int] = set()
+    for members in sets.values():
+        covered |= members
+    for i, e in enumerate(sorted(set(elements) - covered)):
+        sets[i % num_sets].add(e)
+    weights = (
+        {sid: 1.0 + rng.random() * 9.0 for sid in sets} if weighted else None
+    )
+    return SetCoverInstance.from_iterables(sets, elements, weights)

@@ -1,0 +1,22 @@
+"""Sparse spanners of cluster graphs ([BS07], derandomized per [GK18]).
+
+Section 4 replaces the spanning tree of ``G_S`` by a sparse connected
+spanning subgraph computed by the Baswana-Sen clustering process with
+constant sampling probability; the derandomized variant fixes the per-phase
+cluster-sampling coins by the method of conditional expectations on a
+product-form potential (expected edges added + balance term).
+"""
+
+from repro.spanner.baswana_sen import (
+    SpannerResult,
+    baswana_sen_spanner,
+    derandomized_sampler,
+    random_sampler,
+)
+
+__all__ = [
+    "SpannerResult",
+    "baswana_sen_spanner",
+    "random_sampler",
+    "derandomized_sampler",
+]

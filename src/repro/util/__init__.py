@@ -1,0 +1,27 @@
+"""Small shared utilities: fixed-point transmittable values, math helpers,
+deterministic ordering and table formatting.
+"""
+
+from repro.util.transmittable import (
+    TransmittableGrid,
+    quantize_down,
+    quantize_up,
+)
+from repro.util.mathx import (
+    H_harmonic,
+    ceil_log2,
+    ilog2,
+    log_star,
+)
+from repro.util.tables import TableFormatter
+
+__all__ = [
+    "TransmittableGrid",
+    "quantize_down",
+    "quantize_up",
+    "H_harmonic",
+    "ceil_log2",
+    "ilog2",
+    "log_star",
+    "TableFormatter",
+]

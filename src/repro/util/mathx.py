@@ -1,0 +1,56 @@
+"""Small numeric helpers used across the library."""
+
+from __future__ import annotations
+
+import math
+
+
+def H_harmonic(k: int) -> float:
+    """The ``k``-th harmonic number ``H_k = 1 + 1/2 + ... + 1/k``.
+
+    ``H_k`` upper-bounds the greedy set-cover/dominating-set approximation
+    factor; ``H_k <= 1 + ln k``.
+    """
+    if k <= 0:
+        return 0.0
+    if k < 256:
+        return sum(1.0 / i for i in range(1, k + 1))
+    # Asymptotic expansion is exact to ~1e-12 at this size.
+    gamma = 0.57721566490153286
+    return math.log(k) + gamma + 1.0 / (2 * k) - 1.0 / (12 * k * k)
+
+
+def ilog2(n: int) -> int:
+    """Floor of ``log2(n)`` for ``n >= 1``."""
+    if n < 1:
+        raise ValueError(f"ilog2 requires n >= 1, got {n}")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Ceiling of ``log2(n)`` for ``n >= 1``."""
+    if n < 1:
+        raise ValueError(f"ceil_log2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def log_star(n: float) -> int:
+    """Iterated logarithm ``log* n`` (base 2): how many times ``log2`` must be
+    applied before the value drops to at most 1.
+    """
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def clamp01(value: float) -> float:
+    """Clamp a float into ``[0, 1]``."""
+    return 0.0 if value < 0.0 else (1.0 if value > 1.0 else value)
+
+
+def ln_tilde_delta(max_degree: int) -> float:
+    """``ln(Delta~)`` with ``Delta~ = Delta + 1`` (inclusive-degree log)."""
+    return math.log(max_degree + 1) if max_degree >= 1 else 0.0

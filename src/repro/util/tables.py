@@ -1,0 +1,63 @@
+"""Plain-text table formatting for experiment harnesses.
+
+The benchmark suite prints each reproduced "table" of the paper's claims as an
+aligned ASCII table so `pytest benchmarks/ --benchmark-only -s` output reads
+like the evaluation section of a systems paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TableFormatter:
+    """Accumulates rows and renders an aligned ASCII table.
+
+    Example
+    -------
+    >>> t = TableFormatter(["graph", "n", "ratio"])
+    >>> t.add_row(["gnp", 100, 1.25])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        self.columns = list(columns)
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.001:
+                return f"{value:.3g}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(header)
+        lines.append(sep)
+        for row in self._rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._rows)

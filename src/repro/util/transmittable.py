@@ -1,0 +1,100 @@
+"""Transmittable fixed-point values (paper, Section 2).
+
+The paper calls a value in ``[0, 1]`` *CONGEST transmittable* if it is a
+multiple of ``2**-iota`` where ``iota`` is the smallest integer with
+``2**-iota <= 1/n**10``.  Such a value fits in ``O(log n)`` bits and a biased
+coin with a transmittable success probability can be built from
+polylogarithmically many fair coins.
+
+At laptop scale ``n**10`` is needlessly fine; the grid resolution is therefore
+configurable.  :class:`TransmittableGrid` encapsulates one resolution and the
+rounding directions the paper uses (values are rounded *up* so that
+feasibility of covering constraints is preserved; conditional expectations are
+rounded up as in Lemma 3.4 / 3.10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def iota_for(n: int, power: int = 10) -> int:
+    """Smallest ``iota`` with ``2**-iota <= 1/n**power`` (paper default)."""
+    if n < 2:
+        return 1
+    return max(1, math.ceil(power * math.log2(n)))
+
+
+def quantize_up(value: float, iota: int) -> float:
+    """Round ``value`` up to the next multiple of ``2**-iota``, capped at 1."""
+    if value <= 0.0:
+        return 0.0
+    scale = 1 << iota
+    return min(1.0, math.ceil(value * scale - 1e-12) / scale)
+
+
+def quantize_down(value: float, iota: int) -> float:
+    """Round ``value`` down to the previous multiple of ``2**-iota``."""
+    if value <= 0.0:
+        return 0.0
+    scale = 1 << iota
+    return max(0.0, math.floor(value * scale + 1e-12) / scale)
+
+
+@dataclass(frozen=True)
+class TransmittableGrid:
+    """A fixed-point grid of multiples of ``2**-iota`` inside ``[0, 1]``.
+
+    Parameters
+    ----------
+    iota:
+        Number of fractional bits.  A grid value costs ``iota`` bits on the
+        wire (plus framing); the paper's choice is ``iota = ceil(10 log2 n)``.
+    """
+
+    iota: int = 40
+
+    @classmethod
+    def for_n(cls, n: int, power: int = 10, max_iota: int = 48) -> "TransmittableGrid":
+        """Paper-faithful grid for an ``n``-node network, capped for floats.
+
+        The cap keeps grid steps representable exactly in IEEE doubles
+        (``2**-48`` is fine, ``2**-200`` is not); the quantization error terms
+        in Lemmas 3.4/3.10 only shrink when the grid gets finer, so capping is
+        conservative in the right direction at the scales we simulate.
+        """
+        return cls(iota=min(max_iota, iota_for(n, power)))
+
+    @property
+    def step(self) -> float:
+        """Grid resolution ``2**-iota``."""
+        return 2.0 ** (-self.iota)
+
+    @property
+    def bits(self) -> int:
+        """Wire cost of one grid value in bits."""
+        return self.iota
+
+    def up(self, value: float) -> float:
+        """Round up onto the grid (feasibility preserving for constraints)."""
+        return quantize_up(value, self.iota)
+
+    def down(self, value: float) -> float:
+        """Round down onto the grid."""
+        return quantize_down(value, self.iota)
+
+    def is_on_grid(self, value: float, tol: float = 1e-12) -> bool:
+        """Whether ``value`` is (numerically) a multiple of the grid step."""
+        if value < -tol or value > 1.0 + tol:
+            return False
+        scaled = value * (1 << self.iota)
+        return abs(scaled - round(scaled)) <= tol * (1 << self.iota)
+
+    def to_int(self, value: float) -> int:
+        """Integer numerator of a grid value (``value * 2**iota``)."""
+        return round(value * (1 << self.iota))
+
+    def from_int(self, numerator: int) -> float:
+        """Grid value from its integer numerator."""
+        return numerator / (1 << self.iota)

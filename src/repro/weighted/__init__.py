@@ -1,0 +1,13 @@
+"""Weighted minimum dominating set (Section 5 outlook).
+
+The paper notes the rounding method "would also work more or less in the
+same way for the weighted dominating set problem"; this package implements
+that extension for the one-shot route: the LP carries node weights, and the
+conditional-expectation objective weighs both the kept values and the
+phase-two join penalties by the node weights (the estimator machinery in
+:mod:`repro.derand` is weight-aware throughout).
+"""
+
+from repro.weighted.mds import WeightedMDSResult, approx_weighted_mds, greedy_weighted_mds
+
+__all__ = ["WeightedMDSResult", "approx_weighted_mds", "greedy_weighted_mds"]

@@ -1,0 +1,133 @@
+"""Verification helpers, bound formulas, and the cost ledger."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import (
+    corollary13_approximation_bound,
+    factor_two_uncovered_bound,
+    greedy_bound,
+    lemma37_required_r,
+    one_shot_uncovered_bound,
+    theorem11_approximation_bound,
+    theorem14_cds_bound,
+)
+from repro.analysis.verify import (
+    domination_deficit,
+    is_connected_dominating_set,
+    is_dominating_set,
+    require_connected_dominating_set,
+    require_dominating_set,
+)
+from repro.congest.cost import (
+    CostLedger,
+    bek15_coloring_rounds,
+    gk18_decomposition_rounds,
+    kmw06_lp_rounds,
+    ruling_set_rounds,
+)
+from repro.errors import InfeasibleSolutionError
+from repro.graphs.normalize import normalize_graph
+
+
+class TestVerify:
+    def test_deficit_lists_uncovered(self, path5):
+        assert domination_deficit(path5, {0}) == [2, 3, 4]
+        assert domination_deficit(path5, {1, 3}) == []
+
+    def test_is_dominating(self, path5):
+        assert is_dominating_set(path5, {1, 3})
+        assert not is_dominating_set(path5, {0})
+
+    def test_require_raises_with_witnesses(self, path5):
+        with pytest.raises(InfeasibleSolutionError, match="uncovered"):
+            require_dominating_set(path5, {0})
+        assert require_dominating_set(path5, {1, 3}) == {1, 3}
+
+    def test_connected_dominating(self, path5):
+        assert is_connected_dominating_set(path5, {1, 2, 3})
+        assert not is_connected_dominating_set(path5, {1, 3})  # disconnected
+        assert not is_connected_dominating_set(path5, {1, 2})  # not dominating
+
+    def test_require_connected_raises(self, path5):
+        with pytest.raises(InfeasibleSolutionError, match="components"):
+            require_connected_dominating_set(path5, {1, 3})
+
+    def test_empty_graph_conventions(self):
+        g = nx.Graph()
+        assert is_dominating_set(g, set())
+        assert is_connected_dominating_set(g, set())
+
+
+class TestBounds:
+    def test_theorem11_formula(self):
+        assert theorem11_approximation_bound(0.5, 9) == pytest.approx(
+            1.5 * (1 + math.log(10))
+        )
+
+    def test_corollary13_tighter(self):
+        assert corollary13_approximation_bound(0.5, 9) < theorem11_approximation_bound(0.5, 9)
+
+    def test_greedy_bound_is_harmonic(self):
+        assert greedy_bound(3) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_uncovered_bounds(self):
+        assert one_shot_uncovered_bound(9) == pytest.approx(0.1)
+        assert factor_two_uncovered_bound(9) == pytest.approx(1e-4)
+
+    def test_lemma37_r(self):
+        r = lemma37_required_r(0.5, 9)
+        assert r == pytest.approx(256 * math.log(10) / 0.125)
+        assert lemma37_required_r(0.5, 9, scale=0.5) == pytest.approx(r / 2)
+
+    def test_cds_bound_grows_with_delta(self):
+        assert theorem14_cds_bound(100) > theorem14_cds_bound(4)
+
+
+class TestCostFormulas:
+    def test_gk18_subexponential_shape(self):
+        """2^O(sqrt(log n log log n)) is super-polylog but sub-polynomial."""
+        small = gk18_decomposition_rounds(2 ** 10)
+        big = gk18_decomposition_rounds(2 ** 20)
+        assert big > small
+        assert big < 2 ** 20  # far below n
+
+    def test_kmw06_eps_sensitivity(self):
+        assert kmw06_lp_rounds(16, 0.25) > kmw06_lp_rounds(16, 0.5)
+
+    def test_bek15_and_ruling(self):
+        assert bek15_coloring_rounds(10, 100, 100) >= 10
+        assert ruling_set_rounds(256) == math.ceil(math.log2(256) ** 3)
+
+
+class TestCostLedger:
+    def test_split_accounting(self):
+        ledger = CostLedger()
+        ledger.charge("oracle", 100)
+        ledger.simulate("bfs", 7, max_message_bits=42)
+        assert ledger.charged_rounds == 100
+        assert ledger.simulated_rounds == 7
+        assert ledger.total_rounds == 107
+        assert ledger.max_message_bits == 42
+
+    def test_merge_with_prefix(self):
+        a = CostLedger()
+        a.charge("x", 5)
+        b = CostLedger()
+        b.simulate("y", 3, max_message_bits=10)
+        a.merge(b, prefix="sub/")
+        assert a.by_stage() == {"x": 5, "sub/y": 3}
+        assert a.max_message_bits == 10
+
+    def test_summary_renders(self):
+        ledger = CostLedger()
+        ledger.charge("stage", 5)
+        text = ledger.summary()
+        assert "stage" in text and "TOTAL" in text
+
+    def test_negative_rounds_clamped(self):
+        ledger = CostLedger()
+        ledger.charge("x", -5)
+        assert ledger.charged_rounds == 0

@@ -1,0 +1,266 @@
+"""Section 4: G_S graph (Claim 4.1), clustering, paths, Theorem 1.4 pipeline."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.verify import (
+    is_connected_dominating_set,
+    require_connected_dominating_set,
+)
+from repro.baselines.exact import exact_cds
+from repro.baselines.greedy import greedy_mds
+from repro.cds.clustering import cluster_dominating_set
+from repro.cds.connector import cds_from_spanning_tree
+from repro.cds.gs_graph import build_gs_graph, verify_claim_41
+from repro.cds.paths import select_connection_paths
+from repro.cds.pipeline import approx_cds, default_ruling_beta
+from repro.cds.ruling import ruling_set
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    geometric_graph,
+    gnp_graph,
+    grid_graph,
+    random_tree,
+    ring_graph,
+)
+from repro.graphs.normalize import normalize_graph
+
+
+class TestGSGraph:
+    def test_edges_iff_distance_at_most_3(self, medium_gnp):
+        s = greedy_mds(medium_gnp)
+        gsg = build_gs_graph(medium_gnp, s)
+        lengths = dict(nx.all_pairs_shortest_path_length(medium_gnp))
+        for u in s:
+            for v in s:
+                if u >= v:
+                    continue
+                expected = lengths[u].get(v, 10 ** 9) <= 3
+                assert gsg.gs.has_edge(u, v) == expected
+
+    def test_witness_paths_valid(self, medium_gnp):
+        s = greedy_mds(medium_gnp)
+        gsg = build_gs_graph(medium_gnp, s)
+        for u, v in gsg.gs.edges():
+            path = gsg.witness_path(u, v)
+            assert path[0] == u and path[-1] == v
+            assert len(path) <= 4
+            for a, b in zip(path, path[1:]):
+                assert medium_gnp.has_edge(a, b)
+
+    def test_claim_41(self, zoo_graph):
+        if not nx.is_connected(zoo_graph):
+            return
+        s = greedy_mds(zoo_graph)
+        gsg = build_gs_graph(zoo_graph, s)
+        assert verify_claim_41(gsg)
+        assert nx.is_connected(gsg.gs)
+
+    def test_claim_41_disconnected(self):
+        g = normalize_graph(nx.Graph([(0, 1), (2, 3)]))
+        gsg = build_gs_graph(g, {0, 2})
+        assert verify_claim_41(gsg)
+        assert not nx.is_connected(gsg.gs)
+
+    def test_rejects_non_dominating_input(self, path5):
+        with pytest.raises(Exception):
+            build_gs_graph(path5, {0})
+
+
+class TestSpanningTreeCDS:
+    def test_bound_3s(self, zoo_graph):
+        if not nx.is_connected(zoo_graph):
+            return
+        s = greedy_mds(zoo_graph)
+        gsg = build_gs_graph(zoo_graph, s)
+        cds = cds_from_spanning_tree(gsg)
+        assert is_connected_dominating_set(zoo_graph, cds)
+        assert len(cds) <= 3 * len(s)
+
+    def test_single_node_set(self):
+        g = normalize_graph(nx.star_graph(4))
+        center = max(g.nodes(), key=g.degree)
+        gsg = build_gs_graph(g, {center})
+        assert cds_from_spanning_tree(gsg) == {center}
+
+    def test_disconnected_rejected(self):
+        g = normalize_graph(nx.Graph([(0, 1), (2, 3)]))
+        gsg = build_gs_graph(g, {0, 2})
+        with pytest.raises(GraphError):
+            cds_from_spanning_tree(gsg)
+
+
+class TestRulingSet:
+    def test_pairwise_separation(self, medium_gnp):
+        s = sorted(greedy_mds(medium_gnp))
+        gsg = build_gs_graph(medium_gnp, s)
+        result = ruling_set(gsg.gs, s, beta=2)
+        for i, u in enumerate(result.chosen):
+            for v in result.chosen[i + 1 :]:
+                assert nx.shortest_path_length(gsg.gs, u, v) >= 2
+
+    def test_coverage_radius(self, medium_gnp):
+        s = sorted(greedy_mds(medium_gnp))
+        gsg = build_gs_graph(medium_gnp, s)
+        result = ruling_set(gsg.gs, s, beta=3)
+        assert result.max_candidate_distance <= 2  # beta - 1
+
+    def test_beta_one_takes_all(self, path5):
+        result = ruling_set(path5, [0, 1, 2], beta=1)
+        assert result.chosen == [0, 1, 2]
+
+    def test_validation(self, path5):
+        with pytest.raises(GraphError):
+            ruling_set(path5, [0], beta=0)
+        with pytest.raises(GraphError):
+            ruling_set(path5, [99], beta=2)
+
+    def test_greedy_by_id(self, path5):
+        result = ruling_set(path5, [0, 1, 2, 3, 4], beta=3)
+        assert result.chosen == [0, 3]
+
+
+class TestClustering:
+    def _setup(self, graph):
+        s = greedy_mds(graph)
+        gsg = build_gs_graph(graph, s)
+        beta = 2
+        centers = ruling_set(gsg.gs, sorted(s), beta=beta).chosen
+        return s, centers
+
+    def test_all_s_clustered(self, medium_gnp):
+        s, centers = self._setup(medium_gnp)
+        clustering = cluster_dominating_set(medium_gnp, s, centers)
+        assert set(clustering.cluster_of_s) == set(s)
+        assert len(clustering.trees) == len(centers)
+
+    def test_trees_are_connected_subgraphs(self, medium_gnp):
+        s, centers = self._setup(medium_gnp)
+        clustering = cluster_dominating_set(medium_gnp, s, centers)
+        for tree in clustering.trees:
+            nodes = tree.nodes
+            if len(nodes) > 1:
+                assert nx.is_connected(medium_gnp.subgraph(nodes))
+            for v, p in tree.parent.items():
+                if p != -1:
+                    assert medium_gnp.has_edge(v, p)
+
+    def test_pruning_removes_barren_connectors(self, medium_gnp):
+        s, centers = self._setup(medium_gnp)
+        clustering = cluster_dominating_set(medium_gnp, s, centers)
+        for tree in clustering.trees:
+            children = {v: 0 for v in tree.parent}
+            for v, p in tree.parent.items():
+                if p != -1:
+                    children[p] += 1
+            for v in tree.parent:
+                if v not in tree.members_s:
+                    assert children[v] > 0  # every connector supports someone
+
+    def test_centers_must_be_in_s(self, medium_gnp):
+        s = greedy_mds(medium_gnp)
+        outside = next(v for v in medium_gnp.nodes() if v not in s)
+        with pytest.raises(GraphError):
+            cluster_dominating_set(medium_gnp, s, [outside])
+        with pytest.raises(GraphError):
+            cluster_dominating_set(medium_gnp, s, [])
+
+    def test_stalls_on_disconnected(self):
+        g = normalize_graph(nx.Graph([(0, 1), (2, 3)]))
+        with pytest.raises(GraphError):
+            cluster_dominating_set(g, {0, 2}, [0])
+
+
+class TestPathSelection:
+    def test_cluster_graph_connected(self, medium_gnp):
+        s = greedy_mds(medium_gnp)
+        gsg = build_gs_graph(medium_gnp, s)
+        centers = ruling_set(gsg.gs, sorted(s), beta=2).chosen
+        if len(centers) < 2:
+            return
+        clustering = cluster_dominating_set(medium_gnp, s, centers)
+        selection = select_connection_paths(medium_gnp, s, clustering)
+        cg = selection.cluster_graph()
+        cg.add_nodes_from(range(len(clustering.trees)))
+        assert nx.is_connected(cg)
+
+    def test_paths_are_graph_paths_with_s_endpoints(self, medium_gnp):
+        s = greedy_mds(medium_gnp)
+        gsg = build_gs_graph(medium_gnp, s)
+        centers = ruling_set(gsg.gs, sorted(s), beta=2).chosen
+        clustering = cluster_dominating_set(medium_gnp, s, centers)
+        selection = select_connection_paths(medium_gnp, s, clustering)
+        for (a, b), path in selection.cluster_edges.items():
+            assert path[0] in s and path[-1] in s
+            assert len(path) <= 4
+            for u, v in zip(path, path[1:]):
+                assert medium_gnp.has_edge(u, v)
+            assert clustering.cluster_of_s[path[0]] == a
+            assert clustering.cluster_of_s[path[-1]] == b
+
+    def test_congestion_small(self, medium_gnp):
+        s = greedy_mds(medium_gnp)
+        gsg = build_gs_graph(medium_gnp, s)
+        centers = ruling_set(gsg.gs, sorted(s), beta=2).chosen
+        clustering = cluster_dominating_set(medium_gnp, s, centers)
+        selection = select_connection_paths(medium_gnp, s, clustering)
+        # Deduplicated selection: one path per cluster pair; congestion is
+        # reported and should stay tiny at this scale.
+        assert selection.max_congestion <= 4
+
+
+class TestTheorem14Pipeline:
+    def test_valid_on_families(self):
+        for graph in (
+            gnp_graph(50, 0.1, seed=1),
+            geometric_graph(60, seed=2),
+            random_tree(40, seed=3),
+            grid_graph(6, 6),
+            ring_graph(24),
+        ):
+            result = approx_cds(graph, eps=0.5)
+            require_connected_dominating_set(graph, result.cds)
+            assert result.size <= 3 * len(result.dominating_set) + 2
+
+    def test_against_exact_small(self):
+        for seed in range(3):
+            g = gnp_graph(13, 0.25, seed=seed)
+            result = approx_cds(g, eps=0.5)
+            opt = exact_cds(g)
+            assert opt is not None
+            import math
+
+            delta = max(d for _, d in g.degree())
+            assert len(result.cds) <= 6 * max(1.0, math.log(delta + 1)) * len(opt) + 3
+
+    def test_precomputed_mds_reused(self, medium_gnp):
+        s = greedy_mds(medium_gnp)
+        result = approx_cds(medium_gnp, mds=s)
+        assert result.dominating_set == s
+        assert result.mds_result is None
+
+    def test_spanner_route_engages(self):
+        g = random_tree(80, seed=5)
+        result = approx_cds(g, eps=0.5, ruling_beta=2)
+        assert result.route in ("spanner", "tree")
+        if result.route == "spanner":
+            assert result.stats["clusters"] >= 3
+
+    def test_disconnected_rejected(self):
+        g = normalize_graph(nx.Graph([(0, 1), (2, 3)]))
+        with pytest.raises(GraphError):
+            approx_cds(g)
+
+    def test_default_ruling_beta_monotone(self):
+        assert default_ruling_beta(1000) >= default_ruling_beta(10)
+
+    def test_mds_route_decomposition(self):
+        g = gnp_graph(40, 0.12, seed=4)
+        result = approx_cds(g, mds_route="decomposition")
+        assert is_connected_dominating_set(g, result.cds)
+        with pytest.raises(GraphError):
+            approx_cds(g, mds_route="bogus")
+
+    def test_overhead_property(self, small_gnp):
+        result = approx_cds(small_gnp)
+        assert result.overhead == len(result.cds) / len(result.dominating_set)

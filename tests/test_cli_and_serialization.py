@@ -1,0 +1,83 @@
+"""CLI entry point (python -m repro) and result serialization."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.cds.pipeline import approx_cds
+from repro.graphs.generators import gnp_graph
+from repro.mds.deterministic import approx_mds_coloring
+
+
+class TestCLI:
+    def test_mds_json(self, capsys):
+        rc = main(
+            ["mds", "--family", "gnp", "-n", "40", "--seed", "1",
+             "--algorithm", "coloring", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "coloring"
+        assert payload["ratio_vs_lp"] <= payload["bound"]
+        assert payload["size"] >= 1
+
+    def test_mds_plain_verbose(self, capsys):
+        rc = main(
+            ["mds", "--family", "tree", "-n", "30", "--algorithm",
+             "decomposition", "--verbose"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ratio_vs_lp" in out
+        assert "stage ledger" in out
+
+    def test_mds_randomized(self, capsys):
+        rc = main(["mds", "-n", "30", "--algorithm", "randomized", "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["size"] >= 1
+
+    def test_cds_json(self, capsys):
+        rc = main(["cds", "--family", "geometric", "-n", "50", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cds_size"] >= payload["mds_size"]
+
+    def test_suite_listing(self, capsys):
+        rc = main(["suite", "--sizes", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gnp-20" in out
+        assert "geometric-20" in out
+
+    def test_bench_known(self, capsys):
+        rc = main(["bench", "E9"])
+        assert rc == 0
+        assert "E9" in capsys.readouterr().out
+
+    def test_bench_unknown(self, capsys):
+        rc = main(["bench", "E99"])
+        assert rc == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSerialization:
+    def test_mds_to_dict_round_trips_json(self, small_gnp):
+        result = approx_mds_coloring(small_gnp, eps=0.5)
+        payload = result.to_dict()
+        text = json.dumps(payload)
+        restored = json.loads(text)
+        assert restored["size"] == result.size
+        assert set(restored["dominating_set"]) == result.dominating_set
+        assert restored["trace"][0]["stage"] == "part1-fractional"
+
+    def test_cds_to_dict(self, small_geometric):
+        result = approx_cds(small_geometric, eps=0.5)
+        payload = result.to_dict()
+        json.dumps(payload)
+        assert payload["cds_size"] == result.size
+        assert payload["overhead"] == pytest.approx(result.overhead)
+        assert payload["route"] in ("tree", "spanner", "trivial")

@@ -1,0 +1,146 @@
+"""Colorings: greedy, distance-2, bipartite (Lemma 3.12), reduction, Linial."""
+
+import networkx as nx
+import pytest
+
+from repro.coloring.distance2 import (
+    bipartite_distance2_coloring,
+    distance2_coloring,
+    validate_distance2,
+)
+from repro.coloring.greedy import (
+    color_classes,
+    greedy_coloring,
+    restrict_coloring,
+    validate_coloring,
+)
+from repro.coloring.linial import linial_coloring, linial_one_round
+from repro.coloring.reduction import reduce_coloring
+from repro.domsets.covering import CoveringInstance
+from repro.errors import ColoringError
+from repro.graphs.generators import gnp_graph, regular_graph
+from repro.graphs.normalize import normalize_graph
+
+
+class TestGreedy:
+    def test_proper_and_bounded(self, zoo_graph):
+        colors = greedy_coloring(zoo_graph)
+        used = validate_coloring(zoo_graph, colors)
+        delta = max((d for _, d in zoo_graph.degree()), default=0)
+        assert used <= delta + 1
+
+    def test_validate_rejects_monochromatic(self):
+        g = normalize_graph(nx.path_graph(2))
+        with pytest.raises(ColoringError):
+            validate_coloring(g, {0: 0, 1: 0})
+
+    def test_validate_rejects_uncolored(self):
+        g = normalize_graph(nx.path_graph(2))
+        with pytest.raises(ColoringError):
+            validate_coloring(g, {0: 0})
+
+    def test_color_classes_sorted(self):
+        classes = color_classes({0: 1, 1: 0, 2: 1})
+        assert classes == [[1], [0, 2]]
+
+    def test_restrict_densifies(self):
+        restricted = restrict_coloring({0: 5, 1: 9, 2: 5}, keep={0, 1})
+        assert restricted == {0: 0, 1: 1}
+
+
+class TestDistance2:
+    def test_distance2_is_valid(self, small_gnp):
+        result = distance2_coloring(small_gnp)
+        validate_distance2(small_gnp, result.colors)
+
+    def test_subset_only(self, small_gnp):
+        subset = set(list(small_gnp.nodes())[:10])
+        result = distance2_coloring(small_gnp, subset=subset)
+        assert set(result.colors) == subset
+        validate_distance2(small_gnp, result.colors)
+
+    def test_color_count_bound(self, small_regular):
+        result = distance2_coloring(small_regular)
+        delta = max(d for _, d in small_regular.degree())
+        assert result.num_colors <= delta * delta + 1
+
+    def test_validate_distance2_catches_violation(self, path5):
+        with pytest.raises(ColoringError):
+            validate_distance2(path5, {0: 0, 2: 0})
+
+
+class TestBipartiteLemma312:
+    def test_colors_within_deltaL_deltaR(self, medium_gnp):
+        inst = CoveringInstance.from_graph(
+            medium_gnp, {v: 0.5 for v in medium_gnp.nodes()}
+        )
+        result = bipartite_distance2_coloring(inst)
+        assert result.num_colors <= inst.max_constraint_degree * inst.max_var_degree
+        assert result.charged_rounds >= 1
+
+    def test_coloring_is_conflict_proper(self, small_gnp):
+        inst = CoveringInstance.from_graph(
+            small_gnp, {v: 0.5 for v in small_gnp.nodes()}
+        )
+        result = bipartite_distance2_coloring(inst)
+        conflict = inst.value_conflict_graph()
+        validate_coloring(conflict, result.colors)
+
+    def test_restricted_coloring(self, small_gnp):
+        inst = CoveringInstance.from_graph(
+            small_gnp, {v: 0.5 for v in small_gnp.nodes()}
+        )
+        keep = set(list(inst.value_vars)[:8])
+        result = bipartite_distance2_coloring(inst, restrict=keep)
+        assert set(result.colors) == keep
+
+
+class TestReduction:
+    def test_reduces_to_delta_plus_one(self, small_gnp):
+        initial = {v: v for v in small_gnp.nodes()}  # IDs as colors
+        result = reduce_coloring(small_gnp, initial)
+        delta = max(d for _, d in small_gnp.degree())
+        assert result.num_colors <= delta + 1
+        validate_coloring(small_gnp, result.colors)
+
+    def test_rounds_counted(self, small_gnp):
+        initial = {v: v for v in small_gnp.nodes()}
+        result = reduce_coloring(small_gnp, initial)
+        assert result.rounds >= 1
+
+    def test_already_small_untouched(self, path5):
+        colors = greedy_coloring(path5)
+        result = reduce_coloring(path5, colors)
+        assert result.num_colors <= 2 + 1
+
+
+class TestLinial:
+    def test_one_round_shrinks_and_stays_proper(self):
+        g = regular_graph(64, 4, seed=2)
+        colors = {v: v for v in g.nodes()}
+        new = linial_one_round(g, colors)
+        validate_coloring(g, new)
+        assert max(new.values()) < 64 * 64  # in [q^2]
+
+    def test_full_run_polylog_palette(self):
+        g = regular_graph(128, 4, seed=3)
+        result = linial_coloring(g)
+        validate_coloring(g, result.colors)
+        delta = 4
+        # O(Delta^2 log^2-ish) palette: generous explicit cap.
+        assert result.num_colors <= (10 * delta) ** 2
+        assert result.rounds <= 10
+        # Palette shrinks monotonically across iterations.
+        assert all(
+            b <= a for a, b in zip(result.color_counts, result.color_counts[1:])
+        )
+
+    def test_rejects_improper_input(self, path5):
+        with pytest.raises(ColoringError):
+            linial_one_round(path5, {v: 0 for v in path5.nodes()})
+
+    def test_respects_initial_coloring(self, small_regular):
+        initial = greedy_coloring(small_regular)
+        result = linial_coloring(small_regular, initial=initial)
+        validate_coloring(small_regular, result.colors)
+        assert result.num_colors <= max(initial.values()) + 1

@@ -1,0 +1,116 @@
+"""BFS forest, tree aggregation and rounding-execution node programs."""
+
+import networkx as nx
+import pytest
+
+from repro.congest.network import Network
+from repro.congest.programs.aggregate import run_tree_sum
+from repro.congest.programs.bfs import run_bfs_forest
+from repro.congest.programs.rounding_exec import run_rounding_execution
+from repro.graphs.generators import gnp_graph, random_tree
+from repro.graphs.normalize import normalize_graph
+from repro.util.transmittable import TransmittableGrid
+
+
+class TestBFS:
+    def test_single_root_distances_match_networkx(self, medium_gnp):
+        root_of, dist_of, parent_of, _ = run_bfs_forest(medium_gnp, roots=[0])
+        truth = nx.single_source_shortest_path_length(medium_gnp, 0)
+        for v, d in truth.items():
+            assert dist_of[v] == d
+            assert root_of[v] == 0
+
+    def test_parents_are_closer(self, small_geometric):
+        _, dist_of, parent_of, _ = run_bfs_forest(small_geometric, roots=[0])
+        for v, p in parent_of.items():
+            if p >= 0:
+                assert dist_of[p] == dist_of[v] - 1
+                assert small_geometric.has_edge(v, p)
+
+    def test_multi_root_assigns_nearest(self, medium_gnp):
+        roots = [0, 1, 2]
+        root_of, dist_of, _, _ = run_bfs_forest(medium_gnp, roots=roots)
+        for v in medium_gnp.nodes():
+            best = min(
+                nx.shortest_path_length(medium_gnp, v, r) for r in roots
+            )
+            assert dist_of[v] == best
+
+    def test_rounds_close_to_eccentricity(self, small_tree):
+        _, _, _, sim = run_bfs_forest(small_tree, roots=[0])
+        ecc = nx.eccentricity(small_tree, 0)
+        assert sim.rounds <= ecc + 4
+
+    def test_unreachable_component(self):
+        g = normalize_graph(nx.Graph([(0, 1), (2, 3)]))
+        root_of, dist_of, _, _ = run_bfs_forest(g, roots=[0])
+        assert root_of[2] == -1
+        assert dist_of[3] == -1
+
+
+class TestTreeAggregation:
+    def test_path_sum(self):
+        g = normalize_graph(nx.path_graph(5))
+        parent = {0: -1, 1: 0, 2: 1, 3: 2, 4: 3}
+        totals, sim = run_tree_sum(g, parent, {v: (v,) for v in range(5)})
+        assert totals[0] == (10,)
+        # Every tree node learns the total via the downward broadcast.
+        for v in range(5):
+            assert totals[v] == (10,)
+
+    def test_vector_sum(self):
+        g = normalize_graph(nx.star_graph(3))
+        center = [v for v in g.nodes() if g.degree(v) == 3][0]
+        parent = {v: (-1 if v == center else center) for v in g.nodes()}
+        vectors = {v: (1, v) for v in g.nodes()}
+        totals, _ = run_tree_sum(g, parent, vectors)
+        assert totals[center] == (4, sum(g.nodes()))
+
+    def test_forest_sums_per_tree(self):
+        g = normalize_graph(nx.Graph([(0, 1), (2, 3)]))
+        parent = {0: -1, 1: 0, 2: -1, 3: 2}
+        totals, _ = run_tree_sum(g, parent, {v: (1,) for v in range(4)})
+        assert totals[0] == (2,)
+        assert totals[2] == (2,)
+
+    def test_bfs_then_aggregate(self, small_tree):
+        _, _, parent_of, _ = run_bfs_forest(small_tree, roots=[0])
+        totals, _ = run_tree_sum(
+            small_tree, parent_of, {v: (1,) for v in small_tree.nodes()}
+        )
+        assert totals[0] == (small_tree.number_of_nodes(),)
+
+
+class TestRoundingExecution:
+    def test_uncovered_nodes_join(self):
+        g = normalize_graph(nx.path_graph(3))
+        values = {0: 0.0, 1: 0.0, 2: 1.0}
+        final, sim = run_rounding_execution(
+            g, values, {v: 1.0 for v in g.nodes()}
+        )
+        # Node 0 sees coverage 0 (only neighbor 1 with value 0) -> joins.
+        assert final[0] == 1.0
+        # Nodes 1 and 2 are covered by node 2.
+        assert final[1] == 0.0
+        assert final[2] == 1.0
+        assert sim.rounds <= 2
+
+    def test_covered_keep_values(self, small_gnp):
+        grid = TransmittableGrid.for_n(30)
+        values = {v: 1.0 for v in small_gnp.nodes()}
+        final, _ = run_rounding_execution(small_gnp, values, {v: 1.0 for v in small_gnp.nodes()}, grid=grid)
+        assert final == values
+
+    def test_fractional_coverage(self):
+        g = normalize_graph(nx.complete_graph(4))
+        values = {v: 0.25 for v in g.nodes()}
+        final, _ = run_rounding_execution(g, values, {v: 1.0 for v in g.nodes()})
+        assert final == values  # 4 * 0.25 = 1 covers everyone
+
+    def test_respects_constraints_map(self):
+        g = normalize_graph(nx.path_graph(2))
+        values = {0: 0.3, 1: 0.3}
+        final, _ = run_rounding_execution(g, values, {0: 0.5, 1: 1.0})
+        # The grid for n=2 is coarse (iota=10), hence the loose tolerance.
+        assert final[0] == pytest.approx(0.3, abs=1e-3)  # c=0.5 satisfied
+        assert final[1] == 1.0  # c=1 violated -> joins

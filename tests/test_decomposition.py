@@ -1,0 +1,139 @@
+"""Network decompositions: carving, invariants, separation, validation."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.decomposition.ball_carving import (
+    carve_clusters,
+    carve_decomposition,
+    color_clusters,
+)
+from repro.decomposition.cluster_graph import (
+    Cluster,
+    NetworkDecomposition,
+    validate_decomposition,
+)
+from repro.errors import DecompositionError
+from repro.graphs.normalize import normalize_graph
+from repro.graphs.powers import nodes_within
+
+
+class TestCarving:
+    def test_partitions_nodes(self, zoo_graph):
+        clusters = carve_clusters(zoo_graph)
+        seen = set()
+        for cluster in clusters:
+            assert not (cluster.members & seen)
+            seen |= cluster.members
+        assert seen == set(zoo_graph.nodes())
+
+    def test_depth_bounded_by_log(self, zoo_graph):
+        clusters = carve_clusters(zoo_graph)
+        n = zoo_graph.number_of_nodes()
+        bound = math.log2(n) + 1 if n > 1 else 1
+        for cluster in clusters:
+            assert cluster.depth <= bound
+
+    def test_clusters_connected(self, zoo_graph):
+        clusters = carve_clusters(zoo_graph)
+        for cluster in clusters:
+            sub = zoo_graph.subgraph(cluster.members)
+            assert cluster.size == 1 or nx.is_connected(sub)
+
+    def test_doubling_growth(self):
+        """Every cluster of size s was grown through layers that at least
+        doubled, so its member count is >= 2^depth."""
+        g = normalize_graph(nx.path_graph(64))
+        for cluster in carve_clusters(g):
+            assert cluster.size >= 2 ** cluster.depth
+
+
+class TestColoring:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_separation_k(self, small_gnp, k):
+        dec = carve_decomposition(small_gnp, separation_k=k)
+        validate_decomposition(dec)  # includes the k-separation check
+
+    def test_colors_assigned(self, small_geometric):
+        dec = carve_decomposition(small_geometric)
+        assert all(c.color >= 0 for c in dec.clusters)
+        assert dec.num_colors >= 1
+
+    def test_color_classes_grouping(self, small_gnp):
+        dec = carve_decomposition(small_gnp)
+        classes = dec.color_classes()
+        assert sum(len(cls) for cls in classes) == dec.num_clusters
+        for cls in classes:
+            assert len({c.color for c in cls}) == 1
+
+
+class TestValidation:
+    def _tiny_decomposition(self):
+        g = normalize_graph(nx.path_graph(4))
+        c0 = Cluster(0, frozenset({0, 1}), 0, {0: -1, 1: 0}, 1, color=0)
+        c1 = Cluster(1, frozenset({2, 3}), 2, {2: -1, 3: 2}, 1, color=1)
+        return g, [c0, c1]
+
+    def test_valid_passes(self):
+        g, clusters = self._tiny_decomposition()
+        validate_decomposition(NetworkDecomposition(g, clusters, separation_k=2))
+
+    def test_detects_overlap(self):
+        g, clusters = self._tiny_decomposition()
+        bad = Cluster(1, frozenset({1, 2, 3}), 2, {1: 2, 2: -1, 3: 2}, 1, color=1)
+        with pytest.raises(DecompositionError):
+            validate_decomposition(
+                NetworkDecomposition(g, [clusters[0], bad], separation_k=2)
+            )
+
+    def test_detects_missing_nodes(self):
+        g, clusters = self._tiny_decomposition()
+        with pytest.raises(DecompositionError):
+            validate_decomposition(
+                NetworkDecomposition(g, [clusters[0]], separation_k=2)
+            )
+
+    def test_detects_separation_violation(self):
+        g, clusters = self._tiny_decomposition()
+        same_color = [
+            Cluster(0, clusters[0].members, 0, clusters[0].parent, 1, color=0),
+            Cluster(1, clusters[1].members, 2, clusters[1].parent, 1, color=0),
+        ]
+        # Clusters {0,1} and {2,3} are at distance 1 < separation 2.
+        with pytest.raises(DecompositionError):
+            validate_decomposition(
+                NetworkDecomposition(g, same_color, separation_k=2)
+            )
+
+    def test_detects_bad_tree_edge(self):
+        g = normalize_graph(nx.path_graph(4))
+        bad = Cluster(0, frozenset({0, 2}), 0, {0: -1, 2: 0}, 1, color=0)
+        other = Cluster(1, frozenset({1, 3}), 1, {1: -1, 3: 1}, 1, color=1)
+        with pytest.raises(DecompositionError):
+            validate_decomposition(NetworkDecomposition(g, [bad, other], separation_k=1))
+
+    def test_detects_foreign_leader(self):
+        with pytest.raises(DecompositionError):
+            Cluster(0, frozenset({1, 2}), 7, {1: -1, 2: 1}, 1, color=0)
+
+    def test_detects_uncolored(self):
+        g = normalize_graph(nx.path_graph(2))
+        c = Cluster(0, frozenset({0, 1}), 0, {0: -1, 1: 0}, 1)
+        with pytest.raises(DecompositionError):
+            validate_decomposition(NetworkDecomposition(g, [c], separation_k=1))
+
+
+class TestSeparationSemantics:
+    def test_same_color_clusters_have_disjoint_neighborhoods(self, medium_gnp):
+        """The property Lemma 3.4 consumes: for a 2-hop decomposition,
+        same-color clusters' inclusive neighborhoods are disjoint."""
+        dec = carve_decomposition(medium_gnp, separation_k=2)
+        for color_class in dec.color_classes():
+            reaches = [
+                nodes_within(medium_gnp, c.members, 1) for c in color_class
+            ]
+            for i in range(len(reaches)):
+                for j in range(i + 1, len(reaches)):
+                    assert not (reaches[i] & reaches[j])

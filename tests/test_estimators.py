@@ -1,0 +1,183 @@
+"""Pessimistic estimators: exactness, domination, supermartingale property."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.derand.estimators import ConstraintEstimator, EstimatorConfig
+from repro.errors import DerandomizationError
+
+
+def brute_force_uncovered(c, fixed, coins):
+    """Exact Pr(sum < c) by enumeration over coin outcomes."""
+    items = list(coins.values())
+    total = 0.0
+    for mask in range(1 << len(items)):
+        prob, s = 1.0, fixed
+        for i, (w, p) in enumerate(items):
+            if mask >> i & 1:
+                prob *= p
+                s += w
+            else:
+                prob *= 1.0 - p
+        if s < c - 1e-12:
+            total += prob
+    return total
+
+
+def make(c, fixed, coins, mode):
+    return ConstraintEstimator(
+        cid=0, c=c, deterministic_sum=fixed, free_coins=coins,
+        config=EstimatorConfig(mode=mode),
+    )
+
+
+class TestExactProduct:
+    def test_matches_brute_force(self):
+        coins = {1: (1.0, 0.3), 2: (1.0, 0.6), 3: (1.0, 0.1)}
+        est = make(1.0, 0.0, coins, "exact-product")
+        assert est.phi() == pytest.approx(brute_force_uncovered(1.0, 0.0, coins))
+
+    def test_rejects_small_success_values(self):
+        with pytest.raises(DerandomizationError):
+            make(1.0, 0.0, {1: (0.5, 0.5)}, "exact-product")
+
+    def test_phi_if_matches_commit(self):
+        coins = {1: (1.0, 0.3), 2: (1.0, 0.6)}
+        est = make(1.0, 0.0, dict(coins), "exact-product")
+        predicted = est.phi_if(1, False)
+        est.fix(1, False)
+        assert est.phi() == pytest.approx(predicted)
+
+    def test_success_zeroes(self):
+        est = make(1.0, 0.0, {1: (1.0, 0.3), 2: (1.0, 0.6)}, "exact-product")
+        assert est.phi_if(1, True) == 0.0
+        est.fix(1, True)
+        assert est.satisfied()
+        assert est.phi() == 0.0
+
+
+class TestChernoff:
+    def test_upper_bounds_exact(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            coins = {
+                i: (rng.uniform(0.05, 0.4), rng.uniform(0.2, 0.8))
+                for i in range(rng.randint(2, 8))
+            }
+            c = rng.uniform(0.3, 1.0)
+            fixed = rng.uniform(0.0, 0.3)
+            est = make(c, fixed, coins, "chernoff")
+            exact = brute_force_uncovered(c, fixed, coins)
+            assert est.phi() >= exact - 1e-9
+
+    def test_collapses_to_zero_when_satisfied(self):
+        est = make(0.5, 0.6, {1: (0.1, 0.5)}, "chernoff")
+        assert est.phi() == 0.0
+
+    def test_supermartingale_per_coin(self):
+        """E_b[phi(theta, b)] <= phi(theta) for every coin."""
+        rng = random.Random(5)
+        for _ in range(30):
+            coins = {
+                i: (rng.uniform(0.05, 0.5), rng.uniform(0.2, 0.8))
+                for i in range(rng.randint(2, 6))
+            }
+            c = rng.uniform(0.3, 1.2)
+            est = make(min(c, 1.0), 0.0, coins, "chernoff")
+            for u, (w, p) in coins.items():
+                avg = p * est.phi_if(u, True) + (1 - p) * est.phi_if(u, False)
+                assert avg <= est.phi() + 1e-9
+
+    def test_full_fixing_dominates_indicator(self):
+        coins = {1: (0.2, 0.5), 2: (0.2, 0.5)}
+        est = make(1.0, 0.3, dict(coins), "chernoff")
+        est.fix(1, False)
+        est.fix(2, False)
+        # Violated for sure (0.3 < 1.0): phi must be 1.
+        assert est.phi() == pytest.approx(1.0)
+
+    def test_incremental_matches_fresh(self):
+        rng = random.Random(6)
+        coins = {
+            i: (rng.uniform(0.05, 0.4), rng.uniform(0.2, 0.8)) for i in range(8)
+        }
+        est = make(1.0, 0.0, dict(coins), "chernoff")
+        remaining = dict(coins)
+        for u in list(coins):
+            success = rng.random() < 0.5
+            est.fix(u, success)
+            fixed_sum = est.fixed_sum
+            remaining.pop(u)
+            fresh = ConstraintEstimator(
+                0, 1.0, fixed_sum, remaining, EstimatorConfig(mode="chernoff")
+            )
+            fresh.t = est.t  # same MGF parameter for comparability
+            fresh._log_prod = fresh._full_log_prod()
+            assert est.phi() == pytest.approx(fresh.phi(), abs=1e-8)
+
+
+class TestExactEnum:
+    def test_matches_brute_force_after_fixes(self):
+        coins = {1: (0.4, 0.5), 2: (0.3, 0.25), 3: (0.5, 0.7)}
+        est = make(1.0, 0.0, dict(coins), "exact-enum")
+        assert est.phi() == pytest.approx(brute_force_uncovered(1.0, 0.0, coins))
+        assert est.phi_if(2, True) == pytest.approx(
+            brute_force_uncovered(1.0, 0.3, {1: coins[1], 3: coins[3]})
+        )
+        est.fix(2, True)
+        assert est.phi() == pytest.approx(
+            brute_force_uncovered(1.0, 0.3, {1: coins[1], 3: coins[3]})
+        )
+
+    def test_enum_limit(self):
+        coins = {i: (0.1, 0.5) for i in range(25)}
+        with pytest.raises(DerandomizationError):
+            make(1.0, 0.0, coins, "exact-enum")
+
+
+class TestAutoMode:
+    def test_picks_exact_when_single_success_covers(self):
+        est = make(1.0, 0.0, {1: (1.0, 0.5)}, "auto")
+        assert est.mode == "exact-product"
+
+    def test_picks_chernoff_otherwise(self):
+        est = make(1.0, 0.0, {1: (0.2, 0.5)}, "auto")
+        assert est.mode == "chernoff"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(DerandomizationError):
+            EstimatorConfig(mode="bogus")
+
+    def test_invalid_coins_rejected(self):
+        with pytest.raises(DerandomizationError):
+            make(1.0, 0.0, {1: (0.5, 1.0)}, "chernoff")
+        with pytest.raises(DerandomizationError):
+            make(1.0, 0.0, {1: (0.0, 0.5)}, "chernoff")
+
+    def test_fix_unknown_coin(self):
+        est = make(1.0, 0.0, {1: (1.0, 0.5)}, "auto")
+        with pytest.raises(DerandomizationError):
+            est.fix(9, True)
+        with pytest.raises(DerandomizationError):
+            est.phi_if(9, False)
+
+
+class TestChernoffParameterChoice:
+    def test_t_zero_when_already_covered(self):
+        est = make(0.2, 0.5, {1: (0.1, 0.5)}, "chernoff")
+        assert est.t == 0.0
+
+    def test_t_positive_when_concentration_helps(self):
+        # Expected sum 1.5 vs demand 1.0: Chernoff gives a real bound.
+        coins = {i: (0.3, 0.5) for i in range(10)}
+        est = make(1.0, 0.0, coins, "chernoff")
+        assert est.t > 0.0
+        assert est.phi() < 1.0
+
+    def test_phi_one_when_expectation_below_demand(self):
+        coins = {1: (0.1, 0.5)}
+        est = make(1.0, 0.0, coins, "chernoff")
+        assert est.phi() == pytest.approx(1.0)

@@ -1,0 +1,53 @@
+"""Every example script runs end to end (small parameters)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + [str(a) for a in argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", [40, 1])
+    out = capsys.readouterr().out
+    assert "LP lower bound" in out
+    assert "[holds]" in out
+
+
+def test_wireless_clustering(capsys):
+    run_example("wireless_clustering.py", [60, 2])
+    out = capsys.readouterr().out
+    assert "cluster heads" in out
+    assert "cluster sizes" in out
+
+
+def test_cds_backbone(capsys):
+    run_example("cds_backbone.py", [50, 3])
+    out = capsys.readouterr().out
+    assert "backbone" in out
+    assert "routing stretch" in out
+
+
+def test_set_cover_monitoring(capsys):
+    run_example("set_cover_monitoring.py", [40, 15, 4])
+    out = capsys.readouterr().out
+    assert "derandomized rounding" in out
+    assert "probes" in out
+
+
+def test_congest_simulation(capsys):
+    run_example("congest_simulation.py", [36, 5])
+    out = capsys.readouterr().out
+    assert "distributed run" in out
+    assert "decisions identical: True" in out

@@ -1,0 +1,78 @@
+"""Every experiment module runs in fast mode and certifies its own checks.
+
+These are the same entry points the ``benchmarks/`` tree wraps; running them
+here ensures the reproduction tables regenerate and all recorded guarantees
+hold, independent of pytest-benchmark.
+"""
+
+import pytest
+
+from repro.experiments import (
+    e01_theorem11,
+    e02_theorem12,
+    e03_fractional,
+    e04_uncovered,
+    e05_factor_two,
+    e06_cds,
+    e07_baselines,
+    e08_spanner,
+    e09_decomposition,
+    e10_congest,
+    e11_setcover,
+    e12_ablation,
+)
+from repro.experiments.harness import ExperimentReport
+
+ALL_EXPERIMENTS = [
+    ("E1", e01_theorem11.run),
+    ("E2", e02_theorem12.run),
+    ("E3", e03_fractional.run),
+    ("E4", e04_uncovered.run),
+    ("E5", e05_factor_two.run),
+    ("E6", e06_cds.run),
+    ("E7", e07_baselines.run),
+    ("E8", e08_spanner.run),
+    ("E9", e09_decomposition.run),
+    ("E10", e10_congest.run),
+    ("E11", e11_setcover.run),
+    ("E12", e12_ablation.run),
+]
+
+
+@pytest.mark.parametrize("name,run", ALL_EXPERIMENTS, ids=[n for n, _ in ALL_EXPERIMENTS])
+def test_experiment_checks_pass(name, run):
+    report = run(fast=True)
+    assert isinstance(report, ExperimentReport)
+    assert report.rows, f"{name} produced no rows"
+    failed = [k for k, ok in report.checks.items() if not ok]
+    assert not failed, f"{name} failed checks: {failed}"
+    rendered = report.render()
+    assert report.experiment in rendered
+
+
+def test_delta_sweep_checks():
+    report = e02_theorem12.run_delta_sweep(n=48, degrees=(4, 8, 12))
+    failed = [k for k, ok in report.checks.items() if not ok]
+    assert not failed
+
+
+def test_report_helpers():
+    report = ExperimentReport("EX", "claim", ["a", "b"])
+    report.add_row(a=1, b=2)
+    report.check("ok", True)
+    report.check("ok", True)  # conjunctive
+    assert report.all_checks_pass
+    report.check("bad", False)
+    assert not report.all_checks_pass
+    assert "EX" in report.render()
+
+
+def test_standard_suite_fast_selection(monkeypatch):
+    from repro.experiments.harness import fast_mode, standard_suite
+
+    monkeypatch.setenv("REPRO_FULL", "0")
+    assert fast_mode()
+    fast_instances = list(standard_suite(True))
+    assert all(inst.n <= 90 for inst in fast_instances)
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert not fast_mode()

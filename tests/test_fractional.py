@@ -1,0 +1,135 @@
+"""Part-I substrate: LP oracle, water-filling solver, Lemma 2.1 raising."""
+
+import networkx as nx
+import pytest
+
+from repro.domsets.cfds import CFDS
+from repro.domsets.covering import CoveringInstance
+from repro.errors import GraphError
+from repro.fractional.distributed import distributed_fractional_mds
+from repro.fractional.lp import lp_fractional_mds, solve_covering_lp
+from repro.fractional.raising import (
+    kmw06_initial_fds,
+    raise_fractionality,
+    repair_feasibility,
+)
+from repro.graphs.generators import clique_graph, gnp_graph, star_graph
+from repro.graphs.normalize import normalize_graph
+
+
+class TestLP:
+    def test_star_optimum_is_one(self):
+        lp = lp_fractional_mds(star_graph(6))
+        assert lp.optimum == pytest.approx(1.0, abs=1e-6)
+
+    def test_clique_optimum_is_one(self):
+        lp = lp_fractional_mds(clique_graph(5))
+        assert lp.optimum == pytest.approx(1.0, abs=1e-6)
+
+    def test_cycle_optimum(self):
+        # C_6 LP optimum: uniform 1/3 -> 2.0.
+        g = normalize_graph(nx.cycle_graph(6))
+        lp = lp_fractional_mds(g)
+        assert lp.optimum == pytest.approx(2.0, abs=1e-6)
+
+    def test_solution_feasible(self, medium_gnp):
+        lp = lp_fractional_mds(medium_gnp)
+        assert CFDS.fds(medium_gnp, lp.values).is_feasible()
+
+    def test_lower_bounds_integral(self, small_gnp):
+        from repro.baselines.exact import exact_mds
+
+        lp = lp_fractional_mds(small_gnp)
+        assert lp.optimum <= len(exact_mds(small_gnp)) + 1e-6
+
+    def test_generic_covering_with_weights(self):
+        g = normalize_graph(nx.path_graph(3))
+        inst = CoveringInstance.from_graph(
+            g, {v: 0.0 for v in g.nodes()}, weights={0: 10.0, 1: 1.0, 2: 10.0}
+        )
+        solution = solve_covering_lp(inst)
+        # The cheap middle node covers everything.
+        assert solution.optimum == pytest.approx(1.0, abs=1e-6)
+        assert solution.values[1] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestWaterFilling:
+    def test_feasible_everywhere(self, zoo_graph):
+        result = distributed_fractional_mds(zoo_graph)
+        assert CFDS.fds(zoo_graph, result.values).is_feasible()
+
+    def test_quality_vs_lp(self, medium_gnp):
+        lp = lp_fractional_mds(medium_gnp)
+        result = distributed_fractional_mds(medium_gnp, gamma=0.25)
+        # Water-filling is a ln-style greedy; a loose factor certifies shape.
+        assert result.size <= 3.0 * lp.optimum + 1.0
+
+    def test_round_counter_positive(self, small_gnp):
+        result = distributed_fractional_mds(small_gnp)
+        assert result.rounds >= 2
+        assert result.iterations >= 1
+        assert result.threshold_trace[0] >= result.threshold_trace[-1]
+
+    def test_finer_gamma_not_worse_much(self, small_gnp):
+        coarse = distributed_fractional_mds(small_gnp, gamma=1.0)
+        fine = distributed_fractional_mds(small_gnp, gamma=0.1)
+        assert fine.size <= coarse.size * 1.5 + 1.0
+
+    def test_gamma_validation(self, small_gnp):
+        with pytest.raises(GraphError):
+            distributed_fractional_mds(small_gnp, gamma=0.0)
+        with pytest.raises(GraphError):
+            distributed_fractional_mds(small_gnp, gamma=2.0)
+
+
+class TestRepairAndRaise:
+    def test_repair_fixes_near_miss(self):
+        g = normalize_graph(nx.path_graph(3))
+        values = {0: 0.0, 1: 1.0 - 1e-9, 2: 0.0}
+        repaired = repair_feasibility(g, values)
+        assert CFDS.fds(g, repaired).is_feasible()
+
+    def test_repair_keeps_feasible_untouched(self, small_gnp):
+        values = {v: 1.0 for v in small_gnp.nodes()}
+        assert repair_feasibility(small_gnp, values) == values
+
+    def test_raise_levels(self):
+        raised = raise_fractionality({0: 0.0, 1: 0.005, 2: 0.5}, lam=0.01)
+        assert raised == {0: 0.01, 1: 0.01, 2: 0.5}
+
+    def test_raise_validation(self):
+        with pytest.raises(Exception):
+            raise_fractionality({0: 0.5}, lam=0.0)
+
+
+class TestLemma21Contract:
+    @pytest.mark.parametrize("provider", ["lp", "distributed"])
+    def test_contract(self, medium_gnp, provider):
+        eps = 0.5
+        initial = kmw06_initial_fds(medium_gnp, eps=eps, provider=provider)
+        delta_tilde = max(d for _, d in medium_gnp.degree()) + 1
+        assert initial.fds.is_feasible()
+        # eps/(2 Delta~)-fractional.
+        assert initial.fds.fractionality >= eps / (2 * delta_tilde) - 1e-12
+        # Raising cost: at most n * lambda above the provider's size.
+        lam = eps / (2 * delta_tilde)
+        assert initial.raised_size <= initial.provider_size + medium_gnp.number_of_nodes() * lam + 1e-6
+
+    def test_lp_provider_charges_rounds(self, small_gnp):
+        initial = kmw06_initial_fds(small_gnp, eps=0.5, provider="lp")
+        assert initial.ledger.charged_rounds > 0
+        assert initial.ledger.simulated_rounds == 0
+
+    def test_distributed_provider_simulates_rounds(self, small_gnp):
+        initial = kmw06_initial_fds(small_gnp, eps=0.5, provider="distributed")
+        assert initial.ledger.simulated_rounds > 0
+
+    def test_unknown_provider(self, small_gnp):
+        with pytest.raises(GraphError):
+            kmw06_initial_fds(small_gnp, eps=0.5, provider="quantum")
+
+    def test_eps_validation(self, small_gnp):
+        with pytest.raises(GraphError):
+            kmw06_initial_fds(small_gnp, eps=0.0)
+        with pytest.raises(GraphError):
+            kmw06_initial_fds(small_gnp, eps=1.5)

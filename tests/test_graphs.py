@@ -1,0 +1,193 @@
+"""Graph generators, normalization, powers and the benchmark suite."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    caterpillar_graph,
+    clique_graph,
+    dumbbell_graph,
+    geometric_graph,
+    gnp_graph,
+    grid_graph,
+    preferential_attachment_graph,
+    random_tree,
+    regular_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.graphs.normalize import is_normalized, normalize_graph, require_normalized
+from repro.graphs.powers import (
+    ball,
+    graph_power,
+    nodes_within,
+    shortest_path_within,
+    square_graph,
+)
+from repro.graphs.suite import benchmark_suite, families, suite_instance
+from repro.graphs.validation import degree_stats, require_connected
+
+
+class TestNormalize:
+    def test_relabels_to_range(self):
+        g = nx.Graph([("b", "a"), ("a", "c")])
+        n = normalize_graph(g)
+        assert set(n.nodes()) == {0, 1, 2}
+        assert is_normalized(n)
+
+    def test_drops_self_loops(self):
+        g = nx.Graph([(0, 0), (0, 1)])
+        n = normalize_graph(g)
+        assert n.number_of_edges() == 1
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphError):
+            normalize_graph(nx.DiGraph([(0, 1)]))
+
+    def test_deterministic(self):
+        g = nx.Graph([("x", "y"), ("y", "z")])
+        assert nx.utils.graphs_equal(normalize_graph(g), normalize_graph(g))
+
+    def test_require_normalized_raises(self):
+        g = nx.Graph()
+        g.add_node(5)
+        with pytest.raises(GraphError):
+            require_normalized(g)
+
+
+class TestGenerators:
+    def test_gnp_connected_and_seeded(self):
+        a = gnp_graph(50, 0.05, seed=3)
+        b = gnp_graph(50, 0.05, seed=3)
+        assert nx.is_connected(a)
+        assert nx.utils.graphs_equal(a, b)
+
+    def test_gnp_rejects_bad_n(self):
+        with pytest.raises(GraphError):
+            gnp_graph(0, 0.5)
+
+    def test_geometric_default_radius_connected(self):
+        g = geometric_graph(60, seed=1)
+        assert nx.is_connected(g)
+        assert is_normalized(g)
+
+    def test_preferential_attachment(self):
+        g = preferential_attachment_graph(40, m=2, seed=2)
+        assert g.number_of_edges() == pytest.approx(2 * 38, abs=4)
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(2, m=3)
+
+    def test_grid_shape(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert max(d for _, d in g.degree()) <= 4
+
+    def test_ring(self):
+        g = ring_graph(7)
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_random_tree_is_tree(self):
+        for n in (1, 2, 3, 20):
+            g = random_tree(n, seed=5)
+            assert nx.is_tree(g)
+            assert g.number_of_nodes() == n
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, legs_per_node=2)
+        assert g.number_of_nodes() == 4 + 8
+        assert nx.is_tree(g)
+
+    def test_regular_degree(self):
+        g = regular_graph(20, 6, seed=1)
+        assert all(d == 6 for _, d in g.degree())
+        with pytest.raises(GraphError):
+            regular_graph(7, 3)
+
+    def test_star_and_clique(self):
+        assert max(d for _, d in star_graph(5).degree()) == 5
+        assert clique_graph(5).number_of_edges() == 10
+
+    def test_dumbbell_connected(self):
+        g = dumbbell_graph(4, 3)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == 11
+
+
+class TestPowers:
+    def test_square_of_path(self):
+        g = normalize_graph(nx.path_graph(5))
+        sq = square_graph(g)
+        assert sq.has_edge(0, 2)
+        assert not sq.has_edge(0, 3)
+
+    def test_power_matches_distance(self, small_gnp):
+        k = 3
+        p = graph_power(small_gnp, k)
+        lengths = dict(nx.all_pairs_shortest_path_length(small_gnp))
+        for u in small_gnp.nodes():
+            for v in small_gnp.nodes():
+                if u == v:
+                    continue
+                expect = lengths[u].get(v, 10 ** 9) <= k
+                assert p.has_edge(u, v) == expect
+
+    def test_power_rejects_bad_k(self, path5):
+        with pytest.raises(GraphError):
+            graph_power(path5, 0)
+
+    def test_ball_restricted(self, path5):
+        b = ball(path5, 0, 2, within={0, 1})
+        assert set(b) == {0, 1}
+
+    def test_nodes_within_multi_source(self, path5):
+        assert nodes_within(path5, [0, 4], 1) == {0, 1, 3, 4}
+
+    def test_shortest_path_within(self, path5):
+        assert shortest_path_within(path5, 0, 3, 3) == [0, 1, 2, 3]
+        assert shortest_path_within(path5, 0, 4, 3) is None
+        assert shortest_path_within(path5, 2, 2, 0) == [2]
+
+
+class TestSuite:
+    def test_families_stable(self):
+        assert "gnp" in families()
+        assert "geometric" in families()
+
+    def test_instance_reproducible(self):
+        a = suite_instance("gnp", 40, seed=1)
+        b = suite_instance("gnp", 40, seed=1)
+        assert nx.utils.graphs_equal(a.graph, b.graph)
+        assert a.name == "gnp-40"
+
+    def test_unknown_family(self):
+        with pytest.raises(GraphError):
+            suite_instance("nope", 10)
+
+    def test_benchmark_suite_covers_families(self):
+        instances = list(benchmark_suite(sizes=(20,), families_subset=("gnp", "tree")))
+        assert {i.family for i in instances} == {"gnp", "tree"}
+
+
+class TestValidation:
+    def test_degree_stats(self, small_gnp):
+        stats = degree_stats(small_gnp)
+        assert stats.n == 30
+        assert stats.delta_tilde == stats.max_degree + 1
+        assert stats.min_degree <= stats.avg_degree <= stats.max_degree
+
+    def test_require_connected(self):
+        g = normalize_graph(nx.Graph([(0, 1), (2, 3)]))
+        with pytest.raises(GraphError):
+            require_connected(g)
+        with pytest.raises(GraphError):
+            require_connected(nx.Graph())
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 10))
+def test_gnp_always_normalized_connected(n, seed):
+    g = gnp_graph(n, 3.0 / n, seed=seed)
+    assert is_normalized(g)
+    assert nx.is_connected(g)

@@ -1,0 +1,129 @@
+"""Cross-product integration matrix: every algorithm on every zoo graph,
+with exact optima as ground truth wherever tractable."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import (
+    greedy_bound,
+    theorem11_approximation_bound,
+    theorem14_cds_bound,
+)
+from repro.analysis.stats import geometric_mean, summarize_ratios
+from repro.analysis.verify import (
+    is_connected_dominating_set,
+    is_dominating_set,
+)
+from repro.baselines.exact import exact_mds
+from repro.baselines.greedy import greedy_mds
+from repro.cds.pipeline import approx_cds
+from repro.fractional.lp import lp_fractional_mds
+from repro.mds.deterministic import approx_mds_coloring, approx_mds_decomposition
+from repro.mds.local_model import approx_mds_local
+from repro.mds.randomized import approx_mds_randomized
+from tests.conftest import graph_zoo
+
+ALGORITHMS = {
+    "coloring": lambda g: approx_mds_coloring(g, eps=0.5).dominating_set,
+    "decomposition": lambda g: approx_mds_decomposition(g, eps=0.5).dominating_set,
+    "local": lambda g: approx_mds_local(g, eps=0.5).dominating_set,
+    "randomized": lambda g: approx_mds_randomized(g, eps=0.5, seed=1).dominating_set,
+    "greedy": greedy_mds,
+}
+
+
+@pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+def test_every_algorithm_on_every_zoo_graph(alg_name, zoo_graph):
+    ds = ALGORITHMS[alg_name](zoo_graph)
+    assert is_dominating_set(zoo_graph, ds)
+
+
+@pytest.mark.parametrize("name,graph", graph_zoo(), ids=[n for n, _ in graph_zoo()])
+def test_deterministic_vs_exact_optimum(name, graph):
+    """On zoo-sized graphs we can afford exact OPT: the deterministic output
+    must respect the Theorem 1.1/1.2 guarantee against true OPT, and the
+    sandwich LP <= OPT <= greedy_bound * LP must hold."""
+    if graph.number_of_nodes() > 30:
+        pytest.skip("exact OPT too slow")
+    opt = len(exact_mds(graph))
+    lp = lp_fractional_mds(graph)
+    delta = max((d for _, d in graph.degree()), default=0)
+    assert lp.optimum <= opt + 1e-6
+    assert opt <= greedy_bound(delta) * lp.optimum + 1e-6
+
+    det = len(approx_mds_coloring(graph, eps=0.5).dominating_set)
+    assert det <= theorem11_approximation_bound(0.5, delta) * opt + 1e-9
+    # Empirical shape: within 2x of true optimum on these instances.
+    assert det <= 2 * opt + 1
+
+
+@pytest.mark.parametrize("name,graph", graph_zoo(), ids=[n for n, _ in graph_zoo()])
+def test_cds_on_every_connected_zoo_graph(name, graph):
+    if not nx.is_connected(graph):
+        pytest.skip("CDS needs connectivity")
+    result = approx_cds(graph, eps=0.5)
+    assert is_connected_dominating_set(graph, result.cds)
+    delta = max((d for _, d in graph.degree()), default=0)
+    lp = lp_fractional_mds(graph)
+    assert result.size <= theorem14_cds_bound(delta) * max(lp.optimum, 1.0) + 3
+
+
+def test_aggregate_ratio_shape():
+    """Across the zoo, the deterministic geometric-mean ratio vs LP is close
+    to greedy's — the paper's quality story in one number."""
+    det_ratios, greedy_ratios = [], []
+    for name, graph in graph_zoo():
+        lp = lp_fractional_mds(graph).optimum
+        if lp < 0.5:
+            continue
+        det_ratios.append(
+            len(approx_mds_coloring(graph, eps=0.5).dominating_set) / lp
+        )
+        greedy_ratios.append(len(greedy_mds(graph)) / lp)
+    det_gm = geometric_mean(det_ratios)
+    greedy_gm = geometric_mean(greedy_ratios)
+    assert det_gm <= greedy_gm * 1.25 + 0.01
+    summary = summarize_ratios(det_ratios)
+    assert summary.maximum <= 3.0  # far inside the analytic guarantee
+    assert summary.minimum >= 1.0 - 1e-9  # LP really is a lower bound
+
+
+def test_eps_monotonicity_of_bound():
+    """Smaller eps gives a tighter guarantee; the implementation must keep
+    meeting it (the output may or may not shrink — only the bound moves)."""
+    from repro.graphs.generators import gnp_graph
+
+    graph = gnp_graph(50, 0.12, seed=13)
+    lp = lp_fractional_mds(graph).optimum
+    delta = max(d for _, d in graph.degree())
+    for eps in (1.0, 0.5, 0.25, 0.1):
+        size = len(approx_mds_coloring(graph, eps=eps).dominating_set)
+        assert size <= theorem11_approximation_bound(eps, delta) * lp + 1e-9
+
+
+class TestStatsHelpers:
+    def test_summarize(self):
+        s = summarize_ratios([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.median == 2.0
+        assert s.count == 3
+        assert "mean=2.000" in s.render()
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ratios([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_column_extraction(self):
+        from repro.analysis.stats import column
+
+        rows = [{"r": 1.5}, {"r": "n/a"}, {"r": 2}, {"x": 3}, {"r": True}]
+        assert column(rows, "r") == [1.5, 2.0]

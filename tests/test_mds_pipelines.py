@@ -1,0 +1,123 @@
+"""End-to-end Theorem 1.1 / 1.2 pipelines and the randomized counterpart."""
+
+import pytest
+
+from repro.analysis.bounds import theorem11_approximation_bound
+from repro.analysis.verify import is_dominating_set
+from repro.errors import GraphError
+from repro.fractional.lp import lp_fractional_mds
+from repro.graphs.generators import gnp_graph
+from repro.mds.deterministic import approx_mds_coloring, approx_mds_decomposition
+from repro.mds.pipeline import PipelineParams
+from repro.mds.randomized import approx_mds_randomized
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("route", ["coloring", "decomposition"])
+    def test_theorem_bound_on_zoo(self, zoo_graph, route):
+        runner = (
+            approx_mds_coloring if route == "coloring" else approx_mds_decomposition
+        )
+        result = runner(zoo_graph, eps=0.5)
+        assert is_dominating_set(zoo_graph, result.dominating_set)
+        lp = lp_fractional_mds(zoo_graph)
+        delta = max((d for _, d in zoo_graph.degree()), default=0)
+        bound = theorem11_approximation_bound(0.5, delta)
+        assert result.size <= bound * max(lp.optimum, 1.0) + 1e-9
+
+    @pytest.mark.parametrize("eps", [0.25, 0.5, 1.0])
+    def test_eps_sweep(self, medium_gnp, eps):
+        result = approx_mds_coloring(medium_gnp, eps=eps)
+        lp = lp_fractional_mds(medium_gnp)
+        delta = max(d for _, d in medium_gnp.degree())
+        assert result.size <= theorem11_approximation_bound(eps, delta) * lp.optimum + 1e-9
+
+    def test_approximation_bound_method(self, small_gnp):
+        result = approx_mds_coloring(small_gnp, eps=0.5)
+        delta = max(d for _, d in small_gnp.degree())
+        assert result.approximation_bound() == pytest.approx(
+            theorem11_approximation_bound(0.5, delta)
+        )
+
+
+class TestDeterminism:
+    def test_coloring_route_deterministic(self, medium_gnp):
+        a = approx_mds_coloring(medium_gnp, eps=0.5)
+        b = approx_mds_coloring(medium_gnp, eps=0.5)
+        assert a.dominating_set == b.dominating_set
+
+    def test_decomposition_route_deterministic(self, medium_gnp):
+        a = approx_mds_decomposition(medium_gnp, eps=0.5)
+        b = approx_mds_decomposition(medium_gnp, eps=0.5)
+        assert a.dominating_set == b.dominating_set
+
+
+class TestTrace:
+    def test_trace_stages(self, medium_gnp):
+        result = approx_mds_coloring(medium_gnp, eps=0.5)
+        stages = [t.stage for t in result.trace]
+        assert stages[0] == "part1-fractional"
+        assert stages[-1] == "part3-one-shot"
+        assert result.trace[-1].fractionality == 1.0
+
+    def test_part2_engages_with_overrides(self, medium_gnp):
+        params = PipelineParams(
+            eps=0.5, eps2_override=0.3, f_target_override=8.0
+        )
+        result = approx_mds_coloring(medium_gnp, params=params)
+        assert result.params["part2_iterations"] >= 1
+        frac_trace = [
+            t.fractionality for t in result.trace if t.stage.startswith("part2")
+        ]
+        assert all(b >= a for a, b in zip(frac_trace, frac_trace[1:]))
+
+    def test_part2_skipped_with_paper_constants(self, medium_gnp):
+        result = approx_mds_coloring(medium_gnp, eps=0.5)
+        assert result.params["part2_iterations"] == 0  # F astronomically big
+
+    def test_ledger_nonempty(self, medium_gnp):
+        result = approx_mds_decomposition(medium_gnp, eps=0.5)
+        assert result.ledger.total_rounds > 0
+        assert "part1/kmw06-lp" in result.ledger.by_stage()
+
+
+class TestParams:
+    def test_eps_validation(self):
+        with pytest.raises(GraphError):
+            PipelineParams(eps=0.0)
+        with pytest.raises(GraphError):
+            PipelineParams(eps=2.0)
+
+    def test_distributed_part1(self, small_gnp):
+        params = PipelineParams(eps=0.5, part1_provider="distributed")
+        result = approx_mds_coloring(small_gnp, params=params)
+        assert is_dominating_set(small_gnp, result.dominating_set)
+        assert result.ledger.simulated_rounds > 0
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(GraphError):
+            approx_mds_coloring(nx.Graph())
+
+
+class TestRandomizedPipeline:
+    def test_valid_output(self, medium_gnp):
+        result = approx_mds_randomized(medium_gnp, eps=0.5, seed=1)
+        assert is_dominating_set(medium_gnp, result.dominating_set)
+
+    def test_seed_reproducible(self, medium_gnp):
+        a = approx_mds_randomized(medium_gnp, eps=0.5, seed=9)
+        b = approx_mds_randomized(medium_gnp, eps=0.5, seed=9)
+        assert a.dominating_set == b.dominating_set
+
+    def test_kwise_variant(self, small_gnp):
+        result = approx_mds_randomized(small_gnp, eps=0.5, seed=2, kwise=8)
+        assert is_dominating_set(small_gnp, result.dominating_set)
+        assert "k=8" in result.route
+
+    def test_quality_sane(self, medium_gnp):
+        from repro.baselines.greedy import greedy_mds
+
+        result = approx_mds_randomized(medium_gnp, eps=0.5, seed=3)
+        assert result.size <= 3 * len(greedy_mds(medium_gnp)) + 3

@@ -1,0 +1,155 @@
+"""GF(2^m) arithmetic and k-wise independent coins (Lemma 3.3)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RandomnessError
+from repro.randomness.gf2 import GF2m, find_irreducible, _is_irreducible
+from repro.randomness.kwise import KWiseCoins, seed_bits_required
+
+
+class TestGF2m:
+    def test_known_irreducibles(self):
+        # x^2+x+1 and x^3+x+1 are the classic small irreducibles.
+        assert find_irreducible(2) == 0b111
+        assert find_irreducible(3) == 0b1011
+
+    def test_rabin_rejects_reducible(self):
+        # x^2 + 1 = (x+1)^2 over GF(2).
+        assert not _is_irreducible(0b101, 2)
+
+    def test_rejects_out_of_range_degree(self):
+        with pytest.raises(RandomnessError):
+            find_irreducible(0)
+        with pytest.raises(RandomnessError):
+            find_irreducible(65)
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 8])
+    def test_field_axioms_small(self, m):
+        f = GF2m(m)
+        elements = list(range(min(f.order, 16)))
+        for a, b in itertools.product(elements, repeat=2):
+            assert f.mul(a, b) == f.mul(b, a)
+            assert f.add(a, b) == f.add(b, a)
+            assert f.mul(a, 1) == a
+            assert f.mul(a, 0) == 0
+
+    def test_nonzero_elements_invertible(self):
+        f = GF2m(4)
+        for a in range(1, f.order):
+            # a^(2^m - 1) = 1 for nonzero a in GF(2^m).
+            assert f.pow(a, f.order - 1) == 1
+
+    def test_distributivity_sampled(self):
+        f = GF2m(8)
+        rng = random.Random(1)
+        for _ in range(100):
+            a, b, c = (rng.randrange(f.order) for _ in range(3))
+            assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    def test_eval_poly_horner(self):
+        f = GF2m(4)
+        coeffs = [3, 1, 7]  # 3 + x + 7x^2
+        for point in range(f.order):
+            manual = f.add(
+                f.add(coeffs[0], f.mul(coeffs[1], point)),
+                f.mul(coeffs[2], f.mul(point, point)),
+            )
+            assert f.eval_poly(coeffs, point) == manual
+
+    def test_element_validation(self):
+        f = GF2m(4)
+        with pytest.raises(RandomnessError):
+            f.element(16)
+        with pytest.raises(RandomnessError):
+            f.element(-1)
+
+
+class TestKWiseCoins:
+    def test_seed_length(self):
+        assert seed_bits_required(4, 16) == 64
+        fam = KWiseCoins(k=4, m=8, rng=random.Random(0))
+        assert fam.seed_length == 32
+
+    def test_explicit_seed_round_trip(self):
+        bits = [1, 0] * 16  # k=4, m=8 -> 32 bits
+        fam = KWiseCoins(k=4, m=8, seed_bits=bits)
+        fam2 = KWiseCoins(k=4, m=8, seed_bits=bits)
+        for i in range(10):
+            assert fam.uniform_value(i) == fam2.uniform_value(i)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(RandomnessError):
+            KWiseCoins(k=2, m=4, seed_bits=[0, 1, 2, 0, 0, 0, 0, 0])
+        with pytest.raises(RandomnessError):
+            KWiseCoins(k=2, m=4, seed_bits=[0, 1])
+        with pytest.raises(RandomnessError):
+            KWiseCoins(k=0, m=4)
+
+    def test_exact_pairwise_uniformity(self):
+        """Over ALL seeds of a tiny family, every pair of outputs is exactly
+        uniform on GF(2^m)^2 — the defining property of 2-wise independence."""
+        m, k = 2, 2
+        counts = {}
+        total = 0
+        for seed_int in range(1 << (k * m)):
+            bits = [(seed_int >> i) & 1 for i in range(k * m)]
+            fam = KWiseCoins(k=k, m=m, seed_bits=bits)
+            pair = (fam.uniform_value(0), fam.uniform_value(1))
+            counts[pair] = counts.get(pair, 0) + 1
+            total += 1
+        assert len(counts) == 16  # all (value0, value1) pairs occur
+        assert set(counts.values()) == {total // 16}
+
+    def test_exact_triplewise_uniformity(self):
+        m, k = 2, 3
+        counts = {}
+        for seed_int in range(1 << (k * m)):
+            bits = [(seed_int >> i) & 1 for i in range(k * m)]
+            fam = KWiseCoins(k=k, m=m, seed_bits=bits)
+            triple = tuple(fam.uniform_value(i) for i in (0, 1, 2))
+            counts[triple] = counts.get(triple, 0) + 1
+        assert set(counts.values()) == {1}  # perfectly uniform on 64 triples
+
+    def test_coin_probability_exact(self):
+        """Marginal coin probability equals numerator / 2^m exactly."""
+        m, k = 3, 2
+        numerator = 3  # Pr = 3/8
+        ones = 0
+        total = 0
+        for seed_int in range(1 << (k * m)):
+            bits = [(seed_int >> i) & 1 for i in range(k * m)]
+            fam = KWiseCoins(k=k, m=m, seed_bits=bits)
+            ones += fam.coin(5, numerator)
+            total += 1
+        assert ones / total == pytest.approx(numerator / (1 << m))
+
+    def test_coin_numerator_validation(self):
+        fam = KWiseCoins(k=2, m=4, rng=random.Random(0))
+        with pytest.raises(RandomnessError):
+            fam.coin(0, 17)
+        with pytest.raises(RandomnessError):
+            fam.coin(0, -1)
+
+    def test_coin_float_snaps_down(self):
+        fam = KWiseCoins(k=2, m=4, rng=random.Random(0))
+        # 0.999 snaps to 15/16: at least one seed value (15) must fail.
+        assert fam.coin_float(0, 1.0) in (True, False)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 6), st.integers(2, 8))
+    def test_values_in_field_range(self, k, m):
+        fam = KWiseCoins(k=k, m=m, rng=random.Random(k * 31 + m))
+        for i in range(min(1 << m, 20)):
+            assert 0 <= fam.uniform_value(i) < (1 << m)
+
+    def test_statistical_mean(self):
+        """Large-family sanity: empirical coin mean tracks the probability."""
+        rng = random.Random(9)
+        fam = KWiseCoins(k=8, m=16, rng=rng)
+        p_num = 1 << 14  # 1/4
+        hits = sum(fam.coin(i, p_num) for i in range(4000))
+        assert 0.2 <= hits / 4000 <= 0.3

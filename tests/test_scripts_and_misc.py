@@ -1,0 +1,86 @@
+"""The EXPERIMENTS.md generator script and remaining small helpers."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import networkx as nx
+import pytest
+
+from repro.congest.cost import bits_for_id
+from repro.graphs.normalize import normalize_graph
+from repro.graphs.powers import pairwise_distance_at_most
+from repro.spanner.baswana_sen import PhaseView
+
+
+def test_run_experiments_script_fast(tmp_path, capsys):
+    """The generator runs end to end in fast mode and reports all-pass."""
+    script = Path(__file__).resolve().parent.parent / "scripts" / "run_experiments.py"
+    out_file = tmp_path / "EXP.md"
+    old_argv = sys.argv
+    sys.argv = ["run_experiments.py", "--fast", "--out", str(out_file)]
+    try:
+        with pytest.raises(SystemExit) as exc:
+            runpy.run_path(str(script), run_name="__main__")
+        assert exc.value.code == 0
+    finally:
+        sys.argv = old_argv
+    text = out_file.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "## E1" in text and "## E12" in text
+    assert "ALL PASS" in text
+    assert "FAILED" not in text
+    assert "## Summary" in text
+
+
+def test_bits_for_id():
+    assert bits_for_id(2) == 1
+    assert bits_for_id(1024) == 10
+    assert bits_for_id(1) >= 1
+
+
+def test_pairwise_distance_at_most():
+    g = normalize_graph(nx.path_graph(6))
+    assert pairwise_distance_at_most(g, 0, 3, 3)
+    assert not pairwise_distance_at_most(g, 0, 4, 3)
+    assert pairwise_distance_at_most(g, 2, 2, 0)
+
+
+def test_phase_view_dataclass():
+    view = PhaseView(
+        clusters={0: {1, 2}},
+        adjacent_clusters={1: set(), 2: set()},
+        cluster_of={1: 0, 2: 0},
+    )
+    assert view.clusters[0] == {1, 2}
+
+
+def test_errors_hierarchy():
+    """Every library error derives from ReproError and is catchable as one."""
+    from repro import errors
+
+    subclasses = [
+        errors.GraphError,
+        errors.CongestError,
+        errors.MessageTooLargeError,
+        errors.SimulationLimitError,
+        errors.InfeasibleSolutionError,
+        errors.DerandomizationError,
+        errors.DecompositionError,
+        errors.ColoringError,
+        errors.RandomnessError,
+        errors.LPError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, errors.ReproError)
+    err = errors.MessageTooLargeError(1, 2, 100, 64)
+    assert err.bits == 100 and err.budget == 64
+    assert "100 bits" in str(err)
+
+
+def test_package_version_and_api():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ exports missing {name}"

@@ -1,0 +1,128 @@
+"""Baswana-Sen spanner: sparsity, connectivity, derandomized sampling."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import gnp_graph, grid_graph, ring_graph
+from repro.graphs.normalize import normalize_graph
+from repro.spanner.baswana_sen import (
+    baswana_sen_spanner,
+    derandomized_sampler,
+    random_sampler,
+    spanner_subgraph,
+)
+
+
+class TestRandomizedSpanner:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_connected_preserved(self, medium_gnp, seed):
+        result = baswana_sen_spanner(
+            medium_gnp, random_sampler(random.Random(seed))
+        )
+        sub = spanner_subgraph(medium_gnp, result)
+        assert nx.is_connected(sub)
+
+    def test_edges_subset_of_graph(self, medium_gnp):
+        result = baswana_sen_spanner(medium_gnp, random_sampler(random.Random(1)))
+        for u, v in result.edges:
+            assert medium_gnp.has_edge(u, v)
+
+    def test_sparsity_bound(self):
+        g = gnp_graph(120, 0.25, seed=2)  # dense input
+        result = baswana_sen_spanner(g, random_sampler(random.Random(3)))
+        n = g.number_of_nodes()
+        assert result.num_edges <= 3 * n * math.log2(n)
+        assert result.num_edges < g.number_of_edges()
+
+    def test_tree_input_returns_tree(self, small_tree):
+        result = baswana_sen_spanner(small_tree, random_sampler(random.Random(0)))
+        # A tree has no redundancy: the spanner must keep it connected with
+        # exactly its edges.
+        assert result.num_edges == small_tree.number_of_edges()
+
+    def test_cluster_counts_monotone(self, medium_gnp):
+        result = baswana_sen_spanner(medium_gnp, random_sampler(random.Random(5)))
+        for a, b in zip(result.cluster_counts, result.cluster_counts[1:]):
+            assert b <= a
+
+
+class TestDerandomizedSpanner:
+    def test_deterministic(self, medium_gnp):
+        a = baswana_sen_spanner(medium_gnp, derandomized_sampler())
+        b = baswana_sen_spanner(medium_gnp, derandomized_sampler())
+        assert a.edges == b.edges
+
+    def test_connected_preserved(self, zoo_graph):
+        if not nx.is_connected(zoo_graph):
+            return
+        result = baswana_sen_spanner(zoo_graph, derandomized_sampler())
+        assert nx.is_connected(spanner_subgraph(zoo_graph, result))
+
+    def test_competitive_with_randomized(self):
+        g = gnp_graph(100, 0.15, seed=7)
+        det = baswana_sen_spanner(g, derandomized_sampler())
+        rand_sizes = [
+            baswana_sen_spanner(g, random_sampler(random.Random(s))).num_edges
+            for s in range(5)
+        ]
+        assert det.num_edges <= 2 * min(rand_sizes) + 10
+
+    def test_forced_balance_rare(self, medium_gnp):
+        result = baswana_sen_spanner(medium_gnp, derandomized_sampler())
+        assert result.forced_balance_events <= medium_gnp.number_of_nodes()
+
+    def test_ring(self):
+        g = ring_graph(30)
+        result = baswana_sen_spanner(g, derandomized_sampler())
+        assert nx.is_connected(spanner_subgraph(g, result))
+
+    def test_grid_sparsifies_nothing_much(self):
+        g = grid_graph(6, 6)
+        result = baswana_sen_spanner(g, derandomized_sampler())
+        sub = spanner_subgraph(g, result)
+        assert nx.is_connected(sub)
+        assert result.num_edges <= g.number_of_edges()
+
+
+class TestSpannerAPI:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            baswana_sen_spanner(nx.Graph(), derandomized_sampler())
+
+    def test_singleton(self):
+        g = nx.Graph()
+        g.add_node(0)
+        result = baswana_sen_spanner(normalize_graph(g), derandomized_sampler())
+        assert result.num_edges == 0
+
+    def test_explicit_phases(self, small_gnp):
+        result = baswana_sen_spanner(small_gnp, derandomized_sampler(), phases=2)
+        assert result.phases == 2
+
+    def test_subgraph_rejects_foreign_edges(self, path5):
+        from repro.spanner.baswana_sen import SpannerResult
+
+        fake = SpannerResult(
+            edges={(0, 4)}, phases=1, cluster_counts=[], sampled_counts=[]
+        )
+        with pytest.raises(GraphError):
+            spanner_subgraph(path5, fake)
+
+    def test_stretch_sampled(self):
+        """Spanner distances stay within a polylog factor on sampled pairs."""
+        g = gnp_graph(80, 0.2, seed=9)
+        result = baswana_sen_spanner(g, derandomized_sampler())
+        sub = spanner_subgraph(g, result)
+        rng = random.Random(1)
+        nodes = sorted(g.nodes())
+        n = g.number_of_nodes()
+        cap = 4 * math.log2(n)
+        for _ in range(30):
+            s, t = rng.sample(nodes, 2)
+            d_g = nx.shortest_path_length(g, s, t)
+            d_s = nx.shortest_path_length(sub, s, t)
+            assert d_s <= cap * d_g + 2

@@ -1,0 +1,100 @@
+"""Math helpers and table formatting."""
+
+import math
+
+import pytest
+
+from repro.util.mathx import (
+    H_harmonic,
+    ceil_log2,
+    clamp01,
+    ilog2,
+    ln_tilde_delta,
+    log_star,
+)
+from repro.util.tables import TableFormatter
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert H_harmonic(1) == 1.0
+        assert H_harmonic(2) == pytest.approx(1.5)
+        assert H_harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_zero(self):
+        assert H_harmonic(0) == 0.0
+
+    def test_large_matches_asymptotic(self):
+        # Exact sum vs the expansion at the switch point.
+        exact = sum(1.0 / i for i in range(1, 1001))
+        assert H_harmonic(1000) == pytest.approx(exact, abs=1e-9)
+
+    def test_upper_bounded_by_one_plus_ln(self):
+        for k in (1, 5, 50, 500):
+            assert H_harmonic(k) <= 1.0 + math.log(k) + 1e-12
+
+
+class TestLogs:
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(3) == 1
+        assert ilog2(1024) == 10
+
+    def test_ilog2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(1025) == 11
+
+    def test_log_star(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_clamp01(self):
+        assert clamp01(-1.0) == 0.0
+        assert clamp01(0.5) == 0.5
+        assert clamp01(2.0) == 1.0
+
+    def test_ln_tilde(self):
+        assert ln_tilde_delta(0) == 0.0
+        assert ln_tilde_delta(math.e ** 2 - 1) == pytest.approx(2.0, abs=0.1)
+
+
+class TestTableFormatter:
+    def test_renders_aligned(self):
+        t = TableFormatter(["a", "bb"], title="T")
+        t.add_row(["x", 1])
+        t.add_row(["longer", 2.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(line) for line in lines[2:]}) <= 2  # aligned rows
+
+    def test_rejects_bad_row(self):
+        t = TableFormatter(["a"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+    def test_float_formatting(self):
+        t = TableFormatter(["v"])
+        t.add_row([0.00001234])
+        t.add_row([12345.6])
+        t.add_row([0.5])
+        out = t.render()
+        assert "1.23e-05" in out
+        assert "0.500" in out
+
+    def test_len(self):
+        t = TableFormatter(["v"])
+        assert len(t) == 0
+        t.add_row([1])
+        assert len(t) == 1

@@ -1,0 +1,88 @@
+"""Transmittable fixed-point grid (paper Section 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.transmittable import (
+    TransmittableGrid,
+    iota_for,
+    quantize_down,
+    quantize_up,
+)
+
+
+class TestIotaFor:
+    def test_matches_paper_definition(self):
+        # iota is the smallest integer with 2^-iota <= 1/n^10.
+        for n in (2, 3, 10, 100):
+            iota = iota_for(n)
+            assert 2.0 ** (-iota) <= 1.0 / n ** 10
+            assert 2.0 ** (-(iota - 1)) > 1.0 / n ** 10
+
+    def test_tiny_n(self):
+        assert iota_for(1) == 1
+        assert iota_for(0) == 1
+
+
+class TestQuantize:
+    def test_up_is_ceiling(self):
+        assert quantize_up(0.3, 2) == 0.5
+        assert quantize_up(0.25, 2) == 0.25
+        assert quantize_up(0.26, 2) == 0.5
+
+    def test_down_is_floor(self):
+        assert quantize_down(0.3, 2) == 0.25
+        assert quantize_down(0.25, 2) == 0.25
+
+    def test_zero_and_negative(self):
+        assert quantize_up(0.0, 4) == 0.0
+        assert quantize_up(-0.5, 4) == 0.0
+        assert quantize_down(-0.1, 4) == 0.0
+
+    def test_capped_at_one(self):
+        assert quantize_up(0.999999, 3) == 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(2, 40))
+    def test_up_dominates_value(self, x, iota):
+        assert quantize_up(x, iota) >= x - 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(2, 40))
+    def test_down_below_value(self, x, iota):
+        assert quantize_down(x, iota) <= x + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(2, 40))
+    def test_error_bounded_by_step(self, x, iota):
+        step = 2.0 ** (-iota)
+        assert quantize_up(x, iota) - x <= step + 1e-12
+        assert x - quantize_down(x, iota) <= step + 1e-12
+
+
+class TestGrid:
+    def test_for_n_caps_iota(self):
+        grid = TransmittableGrid.for_n(10 ** 6)
+        assert grid.iota <= 48
+
+    def test_step_and_bits(self):
+        grid = TransmittableGrid(iota=10)
+        assert grid.step == pytest.approx(2.0 ** -10)
+        assert grid.bits == 10
+
+    def test_round_trip_int(self):
+        grid = TransmittableGrid(iota=16)
+        for x in (0.0, 0.25, 0.5, 1.0, 0.125):
+            assert grid.from_int(grid.to_int(x)) == pytest.approx(x)
+
+    def test_is_on_grid(self):
+        grid = TransmittableGrid(iota=4)
+        assert grid.is_on_grid(0.25)
+        assert grid.is_on_grid(0.0625)
+        assert not grid.is_on_grid(0.3)
+        assert not grid.is_on_grid(1.5)
+        assert not grid.is_on_grid(-0.25)
+
+    def test_up_lands_on_grid(self):
+        grid = TransmittableGrid(iota=7)
+        for x in (0.1, 0.33, math.pi / 4, 0.999):
+            assert grid.is_on_grid(grid.up(x))
