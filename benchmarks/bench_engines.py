@@ -1,0 +1,103 @@
+"""Micro-benchmark: ReferenceEngine vs FastEngine on 10k-node graphs.
+
+The acceptance target for the engine refactor: the flat-array active-set
+engine must beat the reference dict-of-dicts loop by at least 2x wall-clock
+on a 10,000-node workload.  Two complementary shapes:
+
+* **BFS on the 100x100 grid** (diameter 198, ~200 rounds): most nodes stay
+  live waiting for the wave, so the win comes from the flat structures and
+  batched accounting (~2x).
+* **Tree-sum on a 10k random tree**: :class:`TreeAggregationProgram` is
+  ``event_driven``, so the fast engine only touches recipients of actual
+  traffic — O(messages) per round instead of O(live) — while the reference
+  loop scans all 10k nodes every one of ~400 rounds (>10x).
+
+``bench_engine_speedup_10k`` measures both, asserts engine parity and the
+>= 2x combined speedup; ``bench_engine_grid`` additionally times the shared
+comparison grid through the batch runner (the same cells
+``scripts/run_experiments.py --quick`` writes to ``BENCH_engines.json``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import networkx as nx
+
+from benchmarks.conftest import run_engine_grid
+from repro.congest.network import Network
+from repro.congest.programs.aggregate import run_tree_sum
+from repro.congest.programs.bfs import run_bfs_forest
+from repro.experiments.harness import engine_grid_cells
+from repro.graphs.generators import grid_graph, random_tree
+
+#: 100 x 100 grid: n = 10_000, diameter 198.
+BENCH_SIDE = 100
+BENCH_TREE_N = 10_000
+
+
+def _bfs_10k(engine: str):
+    graph = grid_graph(BENCH_SIDE, BENCH_SIDE)
+    network = Network.congest(graph)
+    return run_bfs_forest(graph, roots=[0], network=network, engine=engine)[-1]
+
+
+def _tree_sum_10k(engine: str):
+    graph = random_tree(BENCH_TREE_N, seed=7)
+    network = Network.congest(graph)
+    parents = {0: -1}
+    for u, v in nx.bfs_edges(graph, 0):
+        parents[v] = u
+    vectors = {v: (1,) for v in graph.nodes()}
+    return run_tree_sum(graph, parents, vectors, network=network, engine=engine)[-1]
+
+
+def bench_engine_reference_10k(benchmark):
+    result = benchmark.pedantic(
+        _bfs_10k, args=("reference",), iterations=1, rounds=1, warmup_rounds=0
+    )
+    assert result.all_halted
+
+
+def bench_engine_fast_10k(benchmark):
+    result = benchmark.pedantic(
+        _bfs_10k, args=("fast",), iterations=1, rounds=1, warmup_rounds=0
+    )
+    assert result.all_halted
+
+
+def bench_engine_speedup_10k(benchmark):
+    """Both engines, identical results, >= 2x wall-clock for the fast path."""
+
+    def _measure():
+        timings = {}
+        results = {}
+        for name, fn in (("bfs", _bfs_10k), ("tree-sum", _tree_sum_10k)):
+            for engine in ("reference", "fast"):
+                t0 = time.perf_counter()
+                results[name, engine] = fn(engine)
+                timings[name, engine] = time.perf_counter() - t0
+        return results, timings
+
+    results, timings = benchmark.pedantic(
+        _measure, iterations=1, rounds=1, warmup_rounds=0
+    )
+    ref_total = fast_total = 0.0
+    print()
+    for name in ("bfs", "tree-sum"):
+        assert results[name, "reference"] == results[name, "fast"], (
+            f"engines disagree on 10k-node {name}"
+        )
+        t_ref, t_fast = timings[name, "reference"], timings[name, "fast"]
+        ref_total += t_ref
+        fast_total += t_fast
+        print(f"{name:>9s}: reference {t_ref:.2f}s, fast {t_fast:.2f}s "
+              f"-> {t_ref / max(t_fast, 1e-9):.1f}x")
+    speedup = ref_total / max(fast_total, 1e-9)
+    print(f"{'combined':>9s}: reference {ref_total:.2f}s, fast {fast_total:.2f}s "
+          f"-> {speedup:.1f}x")
+    assert speedup >= 2.0, f"fast engine only {speedup:.2f}x over reference"
+
+
+def bench_engine_grid(benchmark):
+    run_engine_grid(benchmark, engine_grid_cells())

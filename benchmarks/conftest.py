@@ -13,7 +13,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.harness import ExperimentReport, fast_mode
+from repro.experiments.harness import (
+    ExperimentReport,
+    engine_grid_report,
+    fast_mode,
+)
+from repro.experiments.runner import run_grid
 
 
 def run_experiment(benchmark, run_fn, **kwargs) -> ExperimentReport:
@@ -26,6 +31,20 @@ def run_experiment(benchmark, run_fn, **kwargs) -> ExperimentReport:
     print(report.render())
     failed = [name for name, ok in report.checks.items() if not ok]
     assert not failed, f"{report.experiment} guarantee checks failed: {failed}"
+    return report
+
+
+def run_engine_grid(benchmark, cells, jobs: int = 1) -> ExperimentReport:
+    """Benchmark one batch-runner grid and certify its parity checks."""
+    results = benchmark.pedantic(
+        run_grid, args=(cells,), kwargs={"jobs": jobs},
+        iterations=1, rounds=1, warmup_rounds=0,
+    )
+    report = engine_grid_report(results)
+    print()
+    print(report.render())
+    failed = [name for name, ok in report.checks.items() if not ok]
+    assert not failed, f"engine grid checks failed: {failed}"
     return report
 
 

@@ -6,12 +6,18 @@ Commands
 ``cds``     run the Theorem 1.4 connected-dominating-set pipeline
 ``suite``   list the benchmark suite instances
 ``bench``   run one experiment (E1..E12) and print its table
+``grid``    run a (graph x program x engine) batch grid across workers
+
+``mds``, ``cds``, ``bench`` and ``grid`` accept ``--engine`` to pick the
+simulation engine (``fast`` flat-array default, ``reference`` baseline);
+``grid`` additionally takes ``--jobs`` for multiprocessing workers.
 
 Examples
 --------
     python -m repro mds --family geometric -n 120 --algorithm coloring
     python -m repro cds --family gnp -n 80 --eps 0.5
-    python -m repro bench E7
+    python -m repro bench E7 --engine reference
+    python -m repro grid --families gnp,tree --sizes 80,160 --jobs 4
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import sys
 from repro.analysis.bounds import theorem11_approximation_bound
 from repro.baselines.greedy import greedy_mds
 from repro.cds.pipeline import approx_cds
+from repro.congest.engine import available_engines, set_default_engine
 from repro.fractional.lp import lp_fractional_mds
 from repro.graphs.suite import families, suite_instance
 from repro.mds.deterministic import approx_mds_coloring, approx_mds_decomposition
@@ -46,7 +53,21 @@ def _build_graph(args):
     return suite_instance(args.family, args.n, seed=args.seed).graph
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        help="simulation engine for simulated primitives (default: fast)",
+    )
+
+
+def _apply_engine(args) -> None:
+    if getattr(args, "engine", None):
+        set_default_engine(args.engine)
+
+
 def cmd_mds(args) -> int:
+    _apply_engine(args)
     graph = _build_graph(args)
     delta = max((d for _, d in graph.degree()), default=0)
     if args.algorithm == "randomized":
@@ -79,6 +100,7 @@ def cmd_mds(args) -> int:
 
 
 def cmd_cds(args) -> int:
+    _apply_engine(args)
     graph = _build_graph(args)
     result = approx_cds(graph, eps=args.eps)
     payload = {
@@ -114,6 +136,7 @@ def cmd_suite(args) -> int:
 def cmd_bench(args) -> int:
     import importlib
 
+    _apply_engine(args)
     registry = {
         "E1": "e01_theorem11", "E2": "e02_theorem12", "E3": "e03_fractional",
         "E4": "e04_uncovered", "E5": "e05_factor_two", "E6": "e06_cds",
@@ -127,6 +150,35 @@ def cmd_bench(args) -> int:
         return 2
     module = importlib.import_module(f"repro.experiments.{registry[key]}")
     report = module.run(fast=not args.full)
+    print(report.render())
+    return 0 if report.all_checks_pass else 1
+
+
+def cmd_grid(args) -> int:
+    from repro.experiments.harness import engine_grid_report
+    from repro.experiments.runner import (
+        available_programs,
+        expand_grid,
+        run_grid,
+        write_results,
+    )
+
+    families_list = [f for f in args.families.split(",") if f]
+    sizes = [int(s) for s in args.sizes.split(",")]
+    programs = (
+        [p for p in args.programs.split(",") if p]
+        if args.programs
+        else available_programs()
+    )
+    engines = [e for e in args.engines.split(",") if e]
+    cells = expand_grid(
+        families_list, sizes, programs=programs, engines=engines, seed=args.seed
+    )
+    results = run_grid(cells, jobs=args.jobs)
+    report = engine_grid_report(results)
+    if args.json_out:
+        write_results(args.json_out, results, meta={"jobs": args.jobs})
+        print(f"wrote {args.json_out}")
     print(report.render())
     return 0 if report.all_checks_pass else 1
 
@@ -145,12 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_mds.add_argument("--eps", type=float, default=0.5)
     p_mds.add_argument("--json", action="store_true")
     p_mds.add_argument("--verbose", action="store_true")
+    _add_engine_arg(p_mds)
     p_mds.set_defaults(func=cmd_mds)
 
     p_cds = sub.add_parser("cds", help="approximate connected dominating set")
     _add_graph_args(p_cds)
     p_cds.add_argument("--eps", type=float, default=0.5)
     p_cds.add_argument("--json", action="store_true")
+    _add_engine_arg(p_cds)
     p_cds.set_defaults(func=cmd_cds)
 
     p_suite = sub.add_parser("suite", help="list benchmark suite instances")
@@ -161,7 +215,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="run one experiment (E1..E12)")
     p_bench.add_argument("experiment")
     p_bench.add_argument("--full", action="store_true")
+    _add_engine_arg(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_grid = sub.add_parser(
+        "grid", help="batch (graph x program x engine) grid via the runner"
+    )
+    p_grid.add_argument("--families", default="gnp,tree")
+    p_grid.add_argument("--sizes", default="60,120")
+    p_grid.add_argument(
+        "--programs", default="", help="comma list (default: all runner programs)"
+    )
+    p_grid.add_argument("--engines", default="reference,fast")
+    p_grid.add_argument("--seed", type=int, default=7)
+    p_grid.add_argument("--jobs", type=int, default=1)
+    p_grid.add_argument("--json-out", default="", help="write full results JSON here")
+    p_grid.set_defaults(func=cmd_grid)
     return parser
 
 

@@ -6,6 +6,11 @@ derived from a ``networkx`` graph.  Per round, every node may send one message
 to each neighbor; in CONGEST mode the byte-size of every message is measured
 and enforced against an ``O(log n)``-bit budget (Section 2 of the paper).
 
+The round loop itself is pluggable (:mod:`repro.congest.engine`): the
+``reference`` engine is the readable dict-of-dicts baseline, the ``fast``
+engine (default) runs the same semantics over flat CSR arrays with an
+active-set scheduler — see ``docs/engines.md``.
+
 Composite pipelines additionally *charge* rounds for substituted oracles
 through :class:`~repro.congest.cost.CostLedger`, keeping simulated and
 modelled round counts strictly separate.
@@ -14,6 +19,15 @@ modelled round counts strictly separate.
 from repro.congest.message import Message, bits_of_int, message_bits
 from repro.congest.network import Network, congest_bit_budget
 from repro.congest.node import Context, NodeProgram
+from repro.congest.engine import (
+    Engine,
+    FastEngine,
+    ReferenceEngine,
+    available_engines,
+    default_engine_name,
+    resolve_engine,
+    set_default_engine,
+)
 from repro.congest.simulator import SimulationResult, Simulator
 from repro.congest.cost import CostLedger, gk18_decomposition_rounds, kmw06_lp_rounds
 
@@ -25,6 +39,13 @@ __all__ = [
     "congest_bit_budget",
     "Context",
     "NodeProgram",
+    "Engine",
+    "FastEngine",
+    "ReferenceEngine",
+    "available_engines",
+    "default_engine_name",
+    "resolve_engine",
+    "set_default_engine",
     "SimulationResult",
     "Simulator",
     "CostLedger",

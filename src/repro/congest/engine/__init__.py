@@ -1,0 +1,42 @@
+"""Pluggable round-loop engines for the CONGEST simulator.
+
+Importing this package registers the bundled engines:
+
+``reference``
+    The seed dict-of-dicts loop — readable, O(n) per round, the semantic
+    baseline (:class:`~repro.congest.engine.reference.ReferenceEngine`).
+``fast``
+    Flat-array active-set loop, the default — per-round cost scales with
+    live nodes and actual traffic
+    (:class:`~repro.congest.engine.fast.FastEngine`).
+
+Select an engine per run (``Simulator(..., engine="reference")``), process
+wide (:func:`set_default_engine`, the ``--engine`` CLI flags), or via the
+``REPRO_ENGINE`` environment variable.  ``docs/engines.md`` has the guide.
+"""
+
+from repro.congest.engine.base import (
+    Engine,
+    EngineSpec,
+    SimulationResult,
+    available_engines,
+    default_engine_name,
+    register_engine,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.congest.engine.fast import FastEngine
+from repro.congest.engine.reference import ReferenceEngine
+
+__all__ = [
+    "Engine",
+    "EngineSpec",
+    "SimulationResult",
+    "available_engines",
+    "default_engine_name",
+    "register_engine",
+    "resolve_engine",
+    "set_default_engine",
+    "FastEngine",
+    "ReferenceEngine",
+]

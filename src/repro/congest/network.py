@@ -10,6 +10,7 @@ paper for transmittable values).
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Tuple
 
 import networkx as nx
@@ -52,9 +53,17 @@ class Network:
         self.graph = graph
         self.n = n
         self.bit_budget = bit_budget
-        self._neighbors: Dict[int, Tuple[int, ...]] = {
-            v: tuple(sorted(graph.neighbors(v))) for v in range(n)
-        }
+        # Flat CSR adjacency, compiled once: node v's sorted neighbors are
+        # _indices[_indptr[v]:_indptr[v+1]].  This is the representation the
+        # fast engine path consumes; neighbor tuples are derived lazily.
+        indptr = array("l", [0])
+        indices = array("l")
+        for v in range(n):
+            indices.extend(sorted(graph.neighbors(v)))
+            indptr.append(len(indices))
+        self._indptr = indptr
+        self._indices = indices
+        self._neighbors: Dict[int, Tuple[int, ...]] = {}
 
     @classmethod
     def congest(cls, graph: nx.Graph, factor: int = 16, base: int = 96) -> "Network":
@@ -68,14 +77,31 @@ class Network:
 
     def neighbors(self, v: int) -> Tuple[int, ...]:
         """Sorted neighbor tuple of ``v`` (the port numbering)."""
-        return self._neighbors[v]
+        try:
+            return self._neighbors[v]
+        except KeyError:
+            nbrs = tuple(self._indices[self._indptr[v]:self._indptr[v + 1]])
+            self._neighbors[v] = nbrs
+            return nbrs
+
+    def csr(self) -> Tuple[array, array]:
+        """Flat ``(indptr, indices)`` adjacency arrays (built once).
+
+        ``indices[indptr[v]:indptr[v+1]]`` is the sorted neighbor list of
+        ``v`` — the zero-copy topology view engines and batch analyses use
+        instead of per-node tuples.
+        """
+        return self._indptr, self._indices
 
     def degree(self, v: int) -> int:
-        return len(self._neighbors[v])
+        return self._indptr[v + 1] - self._indptr[v]
 
     @property
     def max_degree(self) -> int:
-        return max((len(nbrs) for nbrs in self._neighbors.values()), default=0)
+        indptr = self._indptr
+        return max(
+            (indptr[v + 1] - indptr[v] for v in range(self.n)), default=0
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "LOCAL" if self.bit_budget is None else f"CONGEST({self.bit_budget}b)"

@@ -31,13 +31,23 @@ class Context:
         Current round, starting at 1 (0 during :meth:`NodeProgram.setup`).
     """
 
-    __slots__ = ("node", "neighbors", "n", "round_number", "_outbox", "_outputs", "_halted")
+    __slots__ = (
+        "node",
+        "neighbors",
+        "n",
+        "round_number",
+        "_neighbor_set",
+        "_outbox",
+        "_outputs",
+        "_halted",
+    )
 
     def __init__(self, node: int, neighbors: Tuple[int, ...], n: int):
         self.node = node
         self.neighbors = neighbors
         self.n = n
         self.round_number = 0
+        self._neighbor_set = frozenset(neighbors)
         self._outbox: Dict[int, Message] = {}
         self._outputs: Dict[str, object] = {}
         self._halted = False
@@ -52,7 +62,7 @@ class Context:
         At most one message per neighbor per round (the CONGEST contract);
         sending twice to the same port in one round is a protocol error.
         """
-        if to not in self.neighbors:
+        if to not in self._neighbor_set:
             raise CongestError(f"node {self.node} cannot send to non-neighbor {to}")
         if to in self._outbox:
             raise CongestError(
@@ -93,6 +103,13 @@ class NodeProgram:
     the ``inputs`` mapping passed to the simulator and made available as
     ``self.input`` (an arbitrary object, ``None`` if absent).
     """
+
+    #: Event-driven contract: set to ``True`` iff ``receive`` with an empty
+    #: inbox is a guaranteed no-op (no sends, outputs, halts, or state
+    #: changes — including defensive round-count cutoffs).  Engines may then
+    #: skip idle nodes entirely and only run recipients of actual traffic,
+    #: making round cost proportional to messages instead of live nodes.
+    event_driven = False
 
     def __init__(self, input_value: object = None):
         self.input = input_value

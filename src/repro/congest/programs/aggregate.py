@@ -23,6 +23,7 @@ from typing import Dict, Mapping, Sequence, Tuple
 
 import networkx as nx
 
+from repro.congest.engine import EngineSpec
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -37,6 +38,11 @@ class TreeAggregationProgram(NodeProgram):
     tree learns it, mirroring the paper's seed-bit decision broadcast).
     Nodes outside any tree (``parent is None``) halt immediately.
     """
+
+    #: An empty-inbox ``receive`` is a no-op here: leaves/roots act in
+    #: ``setup``, everyone else only reacts to ``up``/``down`` traffic —
+    #: so engines may run this program event-driven (skip idle nodes).
+    event_driven = True
 
     def __init__(self, input_value: object = None):
         super().__init__(input_value)
@@ -88,8 +94,10 @@ class TreeAggregationProgram(NodeProgram):
                 ctx.halt()
                 return
         self._try_send_up(ctx)
-        if ctx.round_number > 4 * ctx.n + 4:  # pragma: no cover - defensive
-            ctx.halt()
+        # No defensive round cutoff here: it would violate the event_driven
+        # contract (a halt on an empty-inbox call).  Malformed forests
+        # (parent cycles) surface as SimulationLimitError via the
+        # simulator's max_rounds bound instead, identically on any engine.
 
 
 def run_tree_sum(
@@ -97,6 +105,7 @@ def run_tree_sum(
     parent_of: Mapping[int, int],
     vectors: Mapping[int, Sequence[int]],
     network: Network | None = None,
+    engine: EngineSpec = None,
 ) -> Tuple[Dict[int, Tuple[int, ...]], SimulationResult]:
     """Sum per-node integer vectors up a rooted forest and broadcast back.
 
@@ -117,6 +126,6 @@ def run_tree_sum(
             inputs[v] = (parent_of[v], children_count.get(v, 0), vec[:width])
         else:
             inputs[v] = None
-    sim = Simulator(network, TreeAggregationProgram, inputs=inputs)
+    sim = Simulator(network, TreeAggregationProgram, inputs=inputs, engine=engine)
     result = sim.run(max_rounds=6 * network.n + 12)
     return result.output_map("total"), result

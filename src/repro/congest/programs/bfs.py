@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Tuple
 
 import networkx as nx
 
+from repro.congest.engine import EngineSpec
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -60,11 +61,12 @@ class BFSTreeProgram(NodeProgram):
             self._idle_rounds = 0
 
     def receive(self, ctx: Context, inbox: Dict[int, Message]) -> None:
-        for sender, msg in sorted(inbox.items()):
-            if msg.tag != "bfs":
-                continue
-            root, dist = msg.fields
-            self._adopt(root, dist + 1, sender)
+        if inbox:
+            for sender, msg in sorted(inbox.items()):
+                if msg.tag != "bfs":
+                    continue
+                root, dist = msg.fields
+                self._adopt(root, dist + 1, sender)
         self._flush(ctx)
         self._idle_rounds += 1
         # Two quiet rounds after announcing => no improvement can still be in
@@ -84,7 +86,10 @@ class BFSTreeProgram(NodeProgram):
 
 
 def run_bfs_forest(
-    graph: nx.Graph, roots: Iterable[int], network: Network | None = None
+    graph: nx.Graph,
+    roots: Iterable[int],
+    network: Network | None = None,
+    engine: EngineSpec = None,
 ) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, int], SimulationResult]:
     """Build a BFS forest from ``roots`` on the simulator.
 
@@ -94,7 +99,10 @@ def run_bfs_forest(
     network = network or Network.congest(graph)
     root_set = set(roots)
     sim = Simulator(
-        network, BFSTreeProgram, inputs={v: (v in root_set) for v in graph.nodes()}
+        network,
+        BFSTreeProgram,
+        inputs={v: (v in root_set) for v in graph.nodes()},
+        engine=engine,
     )
     result = sim.run(max_rounds=4 * network.n + 10)
     return (

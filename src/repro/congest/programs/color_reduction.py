@@ -16,6 +16,7 @@ from typing import Dict, Tuple
 
 import networkx as nx
 
+from repro.congest.engine import EngineSpec
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -69,10 +70,11 @@ def run_color_reduction(
     graph: nx.Graph,
     initial: Dict[int, int] | None = None,
     network: Network | None = None,
+    engine: EngineSpec = None,
 ) -> Tuple[Dict[int, int], SimulationResult]:
     """Run distributed color reduction; returns (colors, metrics)."""
     network = network or Network.congest(graph)
     inputs = dict(initial) if initial is not None else {}
-    sim = Simulator(network, ColorReductionProgram, inputs=inputs)
+    sim = Simulator(network, ColorReductionProgram, inputs=inputs, engine=engine)
     result = sim.run(max_rounds=network.n + 4)
     return result.output_map("color"), result

@@ -24,6 +24,7 @@ from typing import Dict, Set, Tuple
 
 import networkx as nx
 
+from repro.congest.engine import EngineSpec
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -103,11 +104,13 @@ class DistributedGreedyProgram(NodeProgram):
 
 
 def run_distributed_greedy(
-    graph: nx.Graph, network: Network | None = None
+    graph: nx.Graph,
+    network: Network | None = None,
+    engine: EngineSpec = None,
 ) -> Tuple[Set[int], SimulationResult]:
     """Run the program; returns the dominating set and simulator metrics."""
     network = network or Network.congest(graph)
-    sim = Simulator(network, DistributedGreedyProgram)
+    sim = Simulator(network, DistributedGreedyProgram, engine=engine)
     result = sim.run(max_rounds=8 * network.n + 16)
     ds = {v for v, out in result.outputs.items() if out.get("in_ds")}
     return ds, result

@@ -29,6 +29,7 @@ from typing import Dict, Mapping, Tuple
 
 import networkx as nx
 
+from repro.congest.engine import EngineSpec
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -233,6 +234,7 @@ def run_lemma310_on_graph(
     mode: str = "auto",
     grid: TransmittableGrid | None = None,
     network: Network | None = None,
+    engine: EngineSpec = None,
 ) -> Tuple[Dict[int, float], Dict[int, int], SimulationResult]:
     """Run the distributed Lemma 3.10 loop for the graph instance ``B_G``.
 
@@ -254,7 +256,7 @@ def run_lemma310_on_graph(
             "num_colors": num_colors,
             "mode": mode,
         }
-    sim = Simulator(network, Lemma310Program, inputs=inputs)
+    sim = Simulator(network, Lemma310Program, inputs=inputs, engine=engine)
     result = sim.run(max_rounds=3 * num_colors + 12)
     final_values = {
         v: grid.from_int(num) for v, num in result.output_map("value").items()

@@ -21,6 +21,7 @@ from typing import Dict, Mapping, Tuple
 
 import networkx as nx
 
+from repro.congest.engine import EngineSpec
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -62,6 +63,7 @@ def run_rounding_execution(
     constraints: Mapping[int, float],
     grid: TransmittableGrid | None = None,
     network: Network | None = None,
+    engine: EngineSpec = None,
 ) -> Tuple[Dict[int, float], SimulationResult]:
     """Run phase two of the abstract rounding process distributedly.
 
@@ -79,7 +81,7 @@ def run_rounding_execution(
         )
         for v in graph.nodes()
     }
-    sim = Simulator(network, RoundingExecutionProgram, inputs=inputs)
+    sim = Simulator(network, RoundingExecutionProgram, inputs=inputs, engine=engine)
     result = sim.run(max_rounds=4)
     values = {
         v: grid.from_int(num) for v, num in result.output_map("value").items()

@@ -1,41 +1,26 @@
-"""Synchronous round-by-round execution engine.
+"""Simulator facade over the pluggable engine architecture.
 
-The simulator owns the network, one program instance per node, and the metric
-counters.  Each round it (1) collects every node's outbox, (2) validates
-message sizes against the CONGEST budget, (3) delivers all messages
-simultaneously, and (4) invokes ``receive`` on every non-halted node.  This
-is the textbook synchronous model of Peleg [Pel00] that the paper assumes.
+The round loop itself lives in :mod:`repro.congest.engine` — the textbook
+synchronous model of Peleg [Pel00]: per round the engine (1) collects every
+node's outbox, (2) validates message sizes against the CONGEST budget,
+(3) delivers all messages simultaneously, and (4) invokes ``receive`` on
+every non-halted node.  :class:`Simulator` keeps the historical entry point:
+it builds one program instance and one :class:`~repro.congest.node.Context`
+per node and delegates execution to an engine — the flat-array
+:class:`~repro.congest.engine.fast.FastEngine` by default, or any engine
+selected via the ``engine`` argument / :func:`repro.congest.engine.
+set_default_engine` / the ``REPRO_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Type
 
-from repro.congest.message import Message
+from repro.congest.engine import EngineSpec, SimulationResult, resolve_engine
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
-from repro.errors import MessageTooLargeError, SimulationLimitError
 
-
-@dataclass
-class SimulationResult:
-    """Outcome and metrics of one simulated execution."""
-
-    rounds: int
-    total_messages: int
-    total_bits: int
-    max_message_bits: int
-    outputs: Dict[int, Dict[str, object]]
-    all_halted: bool
-    #: messages sent per round, for congestion profiles
-    messages_per_round: list = field(default_factory=list)
-
-    def output_map(self, key: str) -> Dict[int, object]:
-        """Collect output ``key`` from each node that produced it."""
-        return {
-            v: outs[key] for v, outs in self.outputs.items() if key in outs
-        }
+__all__ = ["SimulationResult", "Simulator"]
 
 
 class Simulator:
@@ -50,6 +35,10 @@ class Simulator:
         program class itself.
     inputs:
         Optional mapping node -> per-node input object.
+    engine:
+        Round-loop implementation: an engine name (``"fast"``,
+        ``"reference"``), an :class:`~repro.congest.engine.base.Engine`
+        instance or class, or ``None`` for the process default.
     """
 
     def __init__(
@@ -57,8 +46,10 @@ class Simulator:
         network: Network,
         program_factory: Callable[[object], NodeProgram] | Type[NodeProgram],
         inputs: Mapping[int, object] | None = None,
+        engine: EngineSpec = None,
     ):
         self.network = network
+        self.engine = resolve_engine(engine)
         inputs = inputs or {}
         self._contexts: Dict[int, Context] = {}
         self._programs: Dict[int, NodeProgram] = {}
@@ -69,67 +60,6 @@ class Simulator:
 
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Execute until every node halts or ``max_rounds`` is exceeded."""
-        budget = self.network.bit_budget
-        total_messages = 0
-        total_bits = 0
-        max_bits = 0
-        messages_per_round: list[int] = []
-
-        for v, program in self._programs.items():
-            ctx = self._contexts[v]
-            ctx.round_number = 0
-            program.setup(ctx)
-
-        rounds = 0
-        while rounds < max_rounds:
-            # Collect and validate this round's traffic.
-            in_transit: Dict[int, Dict[int, Message]] = {}
-            round_messages = 0
-            for v, ctx in self._contexts.items():
-                for to, msg in ctx._drain_outbox().items():
-                    if budget is not None and msg.bits > budget:
-                        raise MessageTooLargeError(v, to, msg.bits, budget)
-                    in_transit.setdefault(to, {})[v] = msg
-                    round_messages += 1
-                    total_bits += msg.bits
-                    if msg.bits > max_bits:
-                        max_bits = msg.bits
-
-            live = [v for v, ctx in self._contexts.items() if not ctx._halted]
-            if not live and not in_transit:
-                break
-            if not live:
-                # Messages addressed to halted nodes are dropped; nothing
-                # can change any more.
-                break
-
-            rounds += 1
-            total_messages += round_messages
-            messages_per_round.append(round_messages)
-
-            progressed = False
-            for v in live:
-                ctx = self._contexts[v]
-                ctx.round_number = rounds
-                inbox = in_transit.get(v, {})
-                self._programs[v].receive(ctx, inbox)
-                progressed = True
-            if not progressed:  # pragma: no cover - defensive
-                break
-
-            if all(ctx._halted for ctx in self._contexts.values()):
-                break
-        else:
-            raise SimulationLimitError(
-                f"simulation did not terminate within {max_rounds} rounds"
-            )
-
-        return SimulationResult(
-            rounds=rounds,
-            total_messages=total_messages,
-            total_bits=total_bits,
-            max_message_bits=max_bits,
-            outputs={v: dict(ctx._outputs) for v, ctx in self._contexts.items()},
-            all_halted=all(ctx._halted for ctx in self._contexts.values()),
-            messages_per_round=messages_per_round,
+        return self.engine.run(
+            self.network, self._programs, self._contexts, max_rounds
         )

@@ -8,8 +8,16 @@ is selected by ``REPRO_FULL=1`` in the environment.
 
 from repro.experiments.harness import (
     ExperimentReport,
+    engine_grid_cells,
+    engine_grid_report,
     fast_mode,
     standard_suite,
 )
 
-__all__ = ["ExperimentReport", "standard_suite", "fast_mode"]
+__all__ = [
+    "ExperimentReport",
+    "engine_grid_cells",
+    "engine_grid_report",
+    "standard_suite",
+    "fast_mode",
+]

@@ -1,10 +1,13 @@
-"""Shared experiment harness: suite selection, report container, rendering."""
+"""Shared experiment harness: suite selection, report container, rendering,
+and the engine-comparison grid that CLI, scripts and benchmarks all route
+through (see :mod:`repro.experiments.runner` for the execution layer).
+"""
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence
+from typing import Dict, Iterator, List, Mapping, Sequence
 
 from repro.graphs.suite import SuiteInstance, benchmark_suite
 from repro.util.tables import TableFormatter
@@ -13,6 +16,11 @@ from repro.util.tables import TableFormatter
 FAST_FAMILIES = ("gnp", "geometric", "tree")
 FAST_SIZES = (40, 80)
 FULL_SIZES = (60, 120, 240)
+
+#: Axes of the engine-comparison grid (quick mode vs full mode).
+ENGINE_GRID_FAMILIES = ("gnp", "grid", "tree")
+ENGINE_GRID_SIZES_FAST = (60, 120)
+ENGINE_GRID_SIZES_FULL = (120, 400, 1000)
 
 
 def fast_mode() -> bool:
@@ -67,3 +75,78 @@ class ExperimentReport:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+
+# -- engine comparison grid ---------------------------------------------------
+
+
+def engine_grid_cells(fast: bool | None = None, seed: int = 7):
+    """The standard (graph × program × engine) comparison grid.
+
+    Used by ``scripts/run_experiments.py --quick`` (the ``BENCH_engines``
+    artifact), ``python -m repro grid`` defaults, and
+    ``benchmarks/bench_engines.py`` — one definition so their numbers are
+    comparable.
+    """
+    from repro.experiments.runner import expand_grid
+
+    if fast is None:
+        fast = fast_mode()
+    sizes = ENGINE_GRID_SIZES_FAST if fast else ENGINE_GRID_SIZES_FULL
+    return expand_grid(
+        families=ENGINE_GRID_FAMILIES,
+        sizes=sizes,
+        engines=("reference", "fast"),
+        seed=seed,
+    )
+
+
+def engine_grid_report(results: Sequence[Mapping[str, object]]) -> ExperimentReport:
+    """Render a grid run as an :class:`ExperimentReport` with parity checks.
+
+    Checks recorded:
+
+    ``no_failures``
+        every cell produced a result;
+    ``engine_parity``
+        for each (family, n, program, seed) work item, all engines agree on
+        rounds, message count, bit totals and max message size.
+    """
+    report = ExperimentReport(
+        experiment="ENGINES",
+        claim="pluggable engines: identical metrics, fast-path wall-clock wins",
+        columns=[
+            "graph", "program", "engine", "rounds", "messages",
+            "total_bits", "wall_ms",
+        ],
+    )
+    by_item: Dict[tuple, Dict[str, Mapping[str, object]]] = {}
+    for rec in results:
+        cell = rec["cell"]  # type: ignore[index]
+        report.check("no_failures", bool(rec.get("ok")))
+        if not rec.get("ok"):
+            report.notes.append(f"{rec['key']}: {rec['error']}")  # type: ignore[index]
+            continue
+        metrics = rec["metrics"]  # type: ignore[index]
+        report.add_row(
+            graph=f"{cell['family']}-{cell['n']}",  # type: ignore[index]
+            program=cell["program"],  # type: ignore[index]
+            engine=cell["engine"],  # type: ignore[index]
+            rounds=metrics["rounds"],  # type: ignore[index]
+            messages=metrics["total_messages"],  # type: ignore[index]
+            total_bits=metrics["total_bits"],  # type: ignore[index]
+            wall_ms=round(rec["wall_s"] * 1000, 2),  # type: ignore[operator]
+        )
+        item = (cell["family"], cell["n"], cell["program"], cell["seed"])  # type: ignore[index]
+        by_item.setdefault(item, {})[cell["engine"]] = metrics  # type: ignore[index]
+    for item, engines in by_item.items():
+        baseline = None
+        for metrics in engines.values():
+            probe = (
+                metrics["rounds"], metrics["total_messages"],
+                metrics["total_bits"], metrics["max_message_bits"],
+            )
+            if baseline is None:
+                baseline = probe
+            report.check("engine_parity", probe == baseline)
+    return report

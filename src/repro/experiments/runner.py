@@ -1,0 +1,230 @@
+"""Batch experiment runner: (graph × program × engine) grids across workers.
+
+The simulator executes one cell at a time; scaling to many scenarios is the
+runner's job.  A *cell* pins everything needed to reproduce one simulated
+execution — graph family, size, seed, node program, engine — so a grid of
+cells can be expanded up front (:func:`expand_grid`), executed sequentially
+or across ``multiprocessing`` workers (:func:`run_grid`), and aggregated
+into one JSON document (:func:`results_payload` / :func:`write_results`).
+
+Design points:
+
+* **Determinism.** Cells carry their own seed; a grid run with ``jobs=1``
+  is bit-for-bit reproducible, and worker parallelism cannot reorder the
+  output (results are returned in cell order regardless of completion
+  order).
+* **Structured failures.** A cell that raises — bad family, simulation
+  limit, oversized message — produces an ``ok=False`` record with the
+  exception type and message instead of tearing down the whole grid.
+* **Process workers.** Cells are independent (no shared state), so
+  ``multiprocessing.Pool`` gives real CPU parallelism; cells and results
+  are plain picklable dicts/dataclasses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+import networkx as nx
+
+from repro.congest.engine import available_engines
+from repro.congest.network import Network
+from repro.congest.programs import (
+    run_bfs_forest,
+    run_color_reduction,
+    run_distributed_greedy,
+)
+from repro.congest.simulator import SimulationResult
+from repro.graphs.suite import suite_instance
+
+__all__ = [
+    "GridCell",
+    "available_programs",
+    "expand_grid",
+    "run_cell",
+    "run_grid",
+    "summarize_results",
+    "results_payload",
+    "write_results",
+]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One fully-specified simulated execution."""
+
+    family: str
+    n: int
+    program: str
+    engine: str
+    seed: int = 7
+
+    @property
+    def key(self) -> str:
+        return f"{self.family}-{self.n}/{self.program}/{self.engine}/s{self.seed}"
+
+
+def _drive_bfs(graph: nx.Graph, network: Network, engine: str) -> SimulationResult:
+    return run_bfs_forest(graph, roots=[0], network=network, engine=engine)[-1]
+
+
+def _drive_greedy(graph: nx.Graph, network: Network, engine: str) -> SimulationResult:
+    return run_distributed_greedy(graph, network=network, engine=engine)[-1]
+
+
+def _drive_color(graph: nx.Graph, network: Network, engine: str) -> SimulationResult:
+    return run_color_reduction(graph, network=network, engine=engine)[-1]
+
+
+#: Named node-program drivers a cell can select.  Each takes
+#: ``(graph, network, engine)`` and returns the :class:`SimulationResult`.
+_PROGRAMS: Dict[str, Callable[[nx.Graph, Network, str], SimulationResult]] = {
+    "bfs": _drive_bfs,
+    "greedy": _drive_greedy,
+    "color-reduction": _drive_color,
+}
+
+
+def available_programs() -> List[str]:
+    """Sorted names of the node programs the runner can drive."""
+    return sorted(_PROGRAMS)
+
+
+def expand_grid(
+    families: Sequence[str],
+    sizes: Sequence[int],
+    programs: Sequence[str] | None = None,
+    engines: Sequence[str] | None = None,
+    seed: int = 7,
+) -> List[GridCell]:
+    """Cartesian expansion of the grid axes into concrete cells."""
+    programs = list(programs) if programs is not None else available_programs()
+    engines = list(engines) if engines is not None else available_engines()
+    return [
+        GridCell(family=f, n=n, program=p, engine=e, seed=seed)
+        for f in families
+        for n in sizes
+        for p in programs
+        for e in engines
+    ]
+
+
+def run_cell(cell: GridCell) -> Dict[str, object]:
+    """Execute one cell; never raises — failures become structured records."""
+    record: Dict[str, object] = {"cell": asdict(cell), "key": cell.key}
+    try:
+        if cell.program not in _PROGRAMS:
+            raise KeyError(
+                f"unknown program {cell.program!r}; "
+                f"available: {', '.join(available_programs())}"
+            )
+        inst = suite_instance(cell.family, cell.n, seed=cell.seed)
+        network = Network.congest(inst.graph)
+        start = time.perf_counter()
+        sim = _PROGRAMS[cell.program](inst.graph, network, cell.engine)
+        wall = time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 - the grid must survive any cell
+        record["ok"] = False
+        record["error"] = {"type": type(exc).__name__, "message": str(exc)}
+        return record
+    record["ok"] = True
+    record["wall_s"] = wall
+    record["metrics"] = {
+        "n": inst.n,
+        "rounds": sim.rounds,
+        "total_messages": sim.total_messages,
+        "total_bits": sim.total_bits,
+        "max_message_bits": sim.max_message_bits,
+        "all_halted": sim.all_halted,
+    }
+    return record
+
+
+def run_grid(
+    cells: Iterable[GridCell], jobs: int = 1
+) -> List[Dict[str, object]]:
+    """Run every cell, optionally across ``jobs`` worker processes.
+
+    Results come back in cell order either way; ``jobs <= 1`` runs inline
+    (deterministic and debugger-friendly).
+    """
+    cells = list(cells)
+    if jobs <= 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    import multiprocessing
+
+    with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
+        return pool.map(run_cell, cells)
+
+
+def summarize_results(results: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Aggregate a grid run: totals per engine plus cross-engine speedups.
+
+    The ``speedup_vs_reference`` map reports, for every non-reference
+    engine, total-reference-wall / total-engine-wall over the cells where
+    *both* engines succeeded on the same (family, n, program, seed) work
+    item — the apples-to-apples wall-clock ratio.
+    """
+    per_engine: Dict[str, Dict[str, float]] = {}
+    walls: Dict[tuple, Dict[str, float]] = {}
+    failures = []
+    for rec in results:
+        cell = rec["cell"]  # type: ignore[index]
+        engine = cell["engine"]  # type: ignore[index]
+        agg = per_engine.setdefault(
+            engine, {"cells": 0, "ok": 0, "wall_s": 0.0, "rounds": 0, "messages": 0}
+        )
+        agg["cells"] += 1
+        if rec.get("ok"):
+            metrics = rec["metrics"]  # type: ignore[index]
+            agg["ok"] += 1
+            agg["wall_s"] += rec["wall_s"]  # type: ignore[operator]
+            agg["rounds"] += metrics["rounds"]  # type: ignore[index]
+            agg["messages"] += metrics["total_messages"]  # type: ignore[index]
+            item = (cell["family"], cell["n"], cell["program"], cell["seed"])  # type: ignore[index]
+            walls.setdefault(item, {})[engine] = rec["wall_s"]  # type: ignore[assignment]
+        else:
+            failures.append({"key": rec["key"], "error": rec["error"]})
+    speedups: Dict[str, float] = {}
+    for engine in per_engine:
+        if engine == "reference":
+            continue
+        ref_total = eng_total = 0.0
+        for by_engine in walls.values():
+            if "reference" in by_engine and engine in by_engine:
+                ref_total += by_engine["reference"]
+                eng_total += by_engine[engine]
+        if eng_total > 0:
+            speedups[engine] = round(ref_total / eng_total, 3)
+    return {
+        "per_engine": per_engine,
+        "speedup_vs_reference": speedups,
+        "failures": failures,
+    }
+
+
+def results_payload(
+    results: Sequence[Mapping[str, object]], meta: Mapping[str, object] | None = None
+) -> Dict[str, object]:
+    """The canonical JSON document for one grid run."""
+    return {
+        "generator": "repro.experiments.runner",
+        "meta": dict(meta or {}),
+        "summary": summarize_results(results),
+        "cells": list(results),
+    }
+
+
+def write_results(
+    path: str | Path,
+    results: Sequence[Mapping[str, object]],
+    meta: Mapping[str, object] | None = None,
+) -> Path:
+    """Write the grid run to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(results_payload(results, meta), indent=2) + "\n")
+    return path

@@ -1,0 +1,177 @@
+"""Batch runner: grid expansion, determinism, structured failures, JSON."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.harness import engine_grid_cells, engine_grid_report
+from repro.experiments.runner import (
+    GridCell,
+    available_programs,
+    expand_grid,
+    results_payload,
+    run_cell,
+    run_grid,
+    summarize_results,
+    write_results,
+)
+
+
+def _strip_walls(results):
+    stripped = copy.deepcopy(results)
+    for rec in stripped:
+        rec.pop("wall_s", None)
+    return stripped
+
+
+SMALL_GRID = expand_grid(
+    families=("tree", "gnp"),
+    sizes=(16,),
+    programs=("bfs",),
+    engines=("reference", "fast"),
+    seed=3,
+)
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        cells = expand_grid(
+            families=("gnp", "tree"),
+            sizes=(20, 40),
+            programs=("bfs", "greedy"),
+            engines=("reference", "fast"),
+        )
+        assert len(cells) == 2 * 2 * 2 * 2
+        assert len(set(cells)) == len(cells)
+        assert all(isinstance(c, GridCell) for c in cells)
+
+    def test_defaults_cover_all_programs_and_engines(self):
+        cells = expand_grid(families=("tree",), sizes=(12,))
+        programs = {c.program for c in cells}
+        engines = {c.engine for c in cells}
+        assert programs == set(available_programs())
+        assert {"reference", "fast"} <= engines
+
+    def test_key_is_reproducible(self):
+        cell = GridCell(family="gnp", n=40, program="bfs", engine="fast", seed=9)
+        assert cell.key == "gnp-40/bfs/fast/s9"
+
+
+class TestRunCell:
+    def test_success_record(self):
+        cell = GridCell(family="tree", n=16, program="bfs", engine="fast", seed=3)
+        rec = run_cell(cell)
+        assert rec["ok"] is True
+        assert rec["metrics"]["rounds"] >= 1
+        assert rec["metrics"]["all_halted"] is True
+        assert rec["wall_s"] >= 0
+        assert rec["cell"] == {
+            "family": "tree", "n": 16, "program": "bfs",
+            "engine": "fast", "seed": 3,
+        }
+
+    def test_unknown_family_is_structured_error(self):
+        rec = run_cell(GridCell(family="nope", n=16, program="bfs", engine="fast"))
+        assert rec["ok"] is False
+        assert rec["error"]["type"] == "GraphError"
+        assert "nope" in rec["error"]["message"]
+
+    def test_unknown_program_is_structured_error(self):
+        rec = run_cell(GridCell(family="tree", n=16, program="boom", engine="fast"))
+        assert rec["ok"] is False
+        assert rec["error"]["type"] == "KeyError"
+
+    def test_unknown_engine_is_structured_error(self):
+        rec = run_cell(GridCell(family="tree", n=16, program="bfs", engine="warp"))
+        assert rec["ok"] is False
+        assert rec["error"]["type"] == "CongestError"
+
+
+class TestRunGrid:
+    def test_single_worker_is_deterministic(self):
+        first = run_grid(SMALL_GRID, jobs=1)
+        second = run_grid(SMALL_GRID, jobs=1)
+        assert _strip_walls(first) == _strip_walls(second)
+
+    def test_results_preserve_cell_order(self):
+        results = run_grid(SMALL_GRID, jobs=1)
+        assert [r["key"] for r in results] == [c.key for c in SMALL_GRID]
+
+    def test_worker_pool_matches_sequential(self):
+        sequential = run_grid(SMALL_GRID, jobs=1)
+        parallel = run_grid(SMALL_GRID, jobs=2)
+        assert _strip_walls(sequential) == _strip_walls(parallel)
+
+    def test_cell_failure_does_not_crash_grid(self):
+        cells = [
+            GridCell(family="tree", n=16, program="bfs", engine="fast"),
+            GridCell(family="nope", n=16, program="bfs", engine="fast"),
+            GridCell(family="gnp", n=16, program="bfs", engine="fast"),
+        ]
+        results = run_grid(cells, jobs=1)
+        assert [r["ok"] for r in results] == [True, False, True]
+
+
+class TestSummariesAndJson:
+    def test_summary_speedup_and_failures(self):
+        cells = SMALL_GRID + [
+            GridCell(family="nope", n=16, program="bfs", engine="fast")
+        ]
+        results = run_grid(cells, jobs=1)
+        summary = summarize_results(results)
+        assert summary["per_engine"]["reference"]["ok"] == 2
+        assert summary["per_engine"]["fast"]["ok"] == 2
+        assert summary["per_engine"]["fast"]["cells"] == 3
+        assert "fast" in summary["speedup_vs_reference"]
+        assert len(summary["failures"]) == 1
+        assert summary["failures"][0]["error"]["type"] == "GraphError"
+
+    def test_write_results_roundtrip(self, tmp_path):
+        results = run_grid(SMALL_GRID, jobs=1)
+        out = write_results(tmp_path / "grid.json", results, meta={"jobs": 1})
+        payload = json.loads(out.read_text())
+        assert payload["generator"] == "repro.experiments.runner"
+        assert payload["meta"] == {"jobs": 1}
+        assert len(payload["cells"]) == len(SMALL_GRID)
+        assert payload["summary"] == json.loads(
+            json.dumps(summarize_results(results))
+        )
+
+    def test_results_payload_is_json_serializable(self):
+        results = run_grid(SMALL_GRID, jobs=1)
+        json.dumps(results_payload(results))
+
+
+class TestEngineGridReport:
+    def test_parity_and_no_failures_pass(self):
+        results = run_grid(SMALL_GRID, jobs=1)
+        report = engine_grid_report(results)
+        assert report.checks["no_failures"] is True
+        assert report.checks["engine_parity"] is True
+        assert len(report.rows) == len(SMALL_GRID)
+        assert "wall_ms" in report.columns
+
+    def test_failure_flips_check(self):
+        cells = SMALL_GRID + [
+            GridCell(family="nope", n=16, program="bfs", engine="fast")
+        ]
+        report = engine_grid_report(run_grid(cells, jobs=1))
+        assert report.checks["no_failures"] is False
+        assert any("nope" in note for note in report.notes)
+
+    def test_metric_divergence_flips_parity(self):
+        results = run_grid(SMALL_GRID, jobs=1)
+        doctored = copy.deepcopy(results)
+        for rec in doctored:
+            if rec["cell"]["engine"] == "fast":
+                rec["metrics"]["rounds"] += 1
+        report = engine_grid_report(doctored)
+        assert report.checks["engine_parity"] is False
+
+    def test_shared_cells_definition(self):
+        cells = engine_grid_cells(fast=True)
+        assert all(c.engine in ("reference", "fast") for c in cells)
+        assert len({(c.family, c.n, c.program) for c in cells}) * 2 == len(cells)

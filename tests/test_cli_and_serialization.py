@@ -59,6 +59,41 @@ class TestCLI:
         rc = main(["bench", "E99"])
         assert rc == 2
 
+    def test_mds_engine_flag(self, capsys):
+        from repro.congest.engine import default_engine_name, set_default_engine
+
+        original = default_engine_name()
+        try:
+            rc = main(
+                ["mds", "-n", "30", "--engine", "reference", "--json"]
+            )
+            assert rc == 0
+            assert json.loads(capsys.readouterr().out)["size"] >= 1
+            assert default_engine_name() == "reference"
+        finally:
+            set_default_engine(original)
+
+    def test_grid_command(self, capsys, tmp_path):
+        out = tmp_path / "grid.json"
+        rc = main(
+            ["grid", "--families", "tree", "--sizes", "16", "--programs",
+             "bfs", "--engines", "reference,fast", "--json-out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "engine_parity=PASS" in text
+        payload = json.loads(out.read_text())
+        assert len(payload["cells"]) == 2
+        assert payload["summary"]["failures"] == []
+
+    def test_grid_command_unknown_family_fails_checks(self, capsys):
+        rc = main(
+            ["grid", "--families", "nope", "--sizes", "16",
+             "--programs", "bfs", "--engines", "fast"]
+        )
+        assert rc == 1
+        assert "no_failures=FAIL" in capsys.readouterr().out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

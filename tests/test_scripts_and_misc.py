@@ -33,6 +33,31 @@ def test_run_experiments_script_fast(tmp_path, capsys):
     assert "## Summary" in text
 
 
+def test_run_experiments_script_quick_bench(tmp_path, capsys):
+    """``--quick`` emits the BENCH_engines.json artifact with parity PASS."""
+    import json
+
+    script = Path(__file__).resolve().parent.parent / "scripts" / "run_experiments.py"
+    out_file = tmp_path / "BENCH_engines.json"
+    old_argv = sys.argv
+    sys.argv = [
+        "run_experiments.py", "--quick", "--fast",
+        "--bench-out", str(out_file),
+    ]
+    try:
+        with pytest.raises(SystemExit) as exc:
+            runpy.run_path(str(script), run_name="__main__")
+        assert exc.value.code == 0
+    finally:
+        sys.argv = old_argv
+    text = capsys.readouterr().out
+    assert "engine_parity=PASS" in text
+    payload = json.loads(out_file.read_text())
+    assert payload["summary"]["failures"] == []
+    assert payload["summary"]["speedup_vs_reference"].get("fast", 0) > 0
+    assert payload["meta"]["cells"] == len(payload["cells"])
+
+
 def test_bits_for_id():
     assert bits_for_id(2) == 1
     assert bits_for_id(1024) == 10
