@@ -1,21 +1,21 @@
-"""Micro-benchmark: ReferenceEngine vs FastEngine on 10k-node graphs.
+"""Micro-benchmark: Reference vs Fast vs Vector engines on 10k-node graphs.
 
-The acceptance target for the engine refactor: the flat-array active-set
-engine must beat the reference dict-of-dicts loop by at least 2x wall-clock
-on a 10,000-node workload.  Two complementary shapes:
+Acceptance targets for the engine work, asserted on every run:
 
-* **BFS on the 100x100 grid** (diameter 198, ~200 rounds): most nodes stay
-  live waiting for the wave, so the win comes from the flat structures and
-  batched accounting (~2x).
-* **Tree-sum on a 10k random tree**: :class:`TreeAggregationProgram` is
-  ``event_driven``, so the fast engine only touches recipients of actual
-  traffic — O(messages) per round instead of O(live) — while the reference
-  loop scans all 10k nodes every one of ~400 rounds (>10x).
+* **Fast >= 2x reference** (PR 1): BFS on the 100x100 grid plus the
+  event-driven tree-sum on a 10k random tree.
+* **Vector >= 5x reference** (this PR): distributed greedy MDS on the
+  100x100 grid — a broadcast-heavy program (four fixed-shape broadcast
+  steps per phase, ~400 rounds at this size) that runs entirely on the
+  numpy message plane.  One observed run: reference 12.7s, fast 10.8s,
+  vector 0.43s (~30x vs reference).
 
-``bench_engine_speedup_10k`` measures both, asserts engine parity and the
->= 2x combined speedup; ``bench_engine_grid`` additionally times the shared
-comparison grid through the batch runner (the same cells
-``scripts/run_experiments.py --quick`` writes to ``BENCH_engines.json``).
+``bench_engine_vector_10k`` also asserts full result parity between the
+three engines on the 10k workload before it asserts the speedup, so a
+regression in correctness can never hide behind a timing win.
+``bench_engine_grid`` additionally times the shared comparison grid through
+the batch runner (the same cells ``scripts/run_experiments.py --quick``
+writes to ``BENCH_engines.json``).
 """
 
 from __future__ import annotations
@@ -28,12 +28,17 @@ from benchmarks.conftest import run_engine_grid
 from repro.congest.network import Network
 from repro.congest.programs.aggregate import run_tree_sum
 from repro.congest.programs.bfs import run_bfs_forest
+from repro.congest.programs.greedy_mds import run_distributed_greedy
 from repro.experiments.harness import engine_grid_cells
 from repro.graphs.generators import grid_graph, random_tree
 
 #: 100 x 100 grid: n = 10_000, diameter 198.
 BENCH_SIDE = 100
 BENCH_TREE_N = 10_000
+
+#: The tentpole bar: VectorEngine vs ReferenceEngine on a 10k-node
+#: broadcast-heavy program.
+VECTOR_SPEEDUP_BAR = 5.0
 
 
 def _bfs_10k(engine: str):
@@ -52,6 +57,11 @@ def _tree_sum_10k(engine: str):
     return run_tree_sum(graph, parents, vectors, network=network, engine=engine)[-1]
 
 
+def _greedy_10k(engine: str, network: Network | None = None):
+    network = network or Network.congest(grid_graph(BENCH_SIDE, BENCH_SIDE))
+    return run_distributed_greedy(None, network=network, engine=engine)[-1]
+
+
 def bench_engine_reference_10k(benchmark):
     result = benchmark.pedantic(
         _bfs_10k, args=("reference",), iterations=1, rounds=1, warmup_rounds=0
@@ -67,7 +77,7 @@ def bench_engine_fast_10k(benchmark):
 
 
 def bench_engine_speedup_10k(benchmark):
-    """Both engines, identical results, >= 2x wall-clock for the fast path."""
+    """Both scalar engines, identical results, >= 2x for the fast path."""
 
     def _measure():
         timings = {}
@@ -97,6 +107,37 @@ def bench_engine_speedup_10k(benchmark):
     print(f"{'combined':>9s}: reference {ref_total:.2f}s, fast {fast_total:.2f}s "
           f"-> {speedup:.1f}x")
     assert speedup >= 2.0, f"fast engine only {speedup:.2f}x over reference"
+
+
+def bench_engine_vector_10k(benchmark):
+    """Vector engine on a broadcast-heavy 10k program: parity, then >= 5x."""
+
+    def _measure():
+        network = Network.congest(grid_graph(BENCH_SIDE, BENCH_SIDE))
+        timings = {}
+        results = {}
+        for engine in ("reference", "fast", "vector"):
+            t0 = time.perf_counter()
+            results[engine] = _greedy_10k(engine, network=network)
+            timings[engine] = time.perf_counter() - t0
+        return results, timings
+
+    results, timings = benchmark.pedantic(
+        _measure, iterations=1, rounds=1, warmup_rounds=0
+    )
+    print()
+    for engine in ("fast", "vector"):
+        assert results[engine] == results["reference"], (
+            f"{engine} engine disagrees with reference on 10k greedy MDS"
+        )
+        print(f"{engine:>9s}: {timings[engine]:.2f}s vs reference "
+              f"{timings['reference']:.2f}s -> "
+              f"{timings['reference'] / max(timings[engine], 1e-9):.1f}x")
+    speedup = timings["reference"] / max(timings["vector"], 1e-9)
+    assert speedup >= VECTOR_SPEEDUP_BAR, (
+        f"vector engine only {speedup:.2f}x over reference "
+        f"(bar: {VECTOR_SPEEDUP_BAR}x)"
+    )
 
 
 def bench_engine_grid(benchmark):

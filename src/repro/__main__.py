@@ -9,8 +9,9 @@ Commands
 ``grid``    run a (graph x program x engine) batch grid across workers
 
 ``mds``, ``cds``, ``bench`` and ``grid`` accept ``--engine`` to pick the
-simulation engine (``fast`` flat-array default, ``reference`` baseline);
-``grid`` additionally takes ``--jobs`` for multiprocessing workers.
+simulation engine (``fast`` flat-array default, ``reference`` baseline,
+``vector`` numpy message plane); ``grid`` additionally takes ``--jobs``
+for shared-memory multiprocessing workers.
 
 Examples
 --------
@@ -57,7 +58,8 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         choices=available_engines(),
-        help="simulation engine for simulated primitives (default: fast)",
+        help="simulation engine for simulated primitives "
+        "(default: fast; vector = numpy message plane)",
     )
 
 
@@ -155,6 +157,7 @@ def cmd_bench(args) -> int:
 
 
 def cmd_grid(args) -> int:
+    from repro.errors import ReproError
     from repro.experiments.harness import engine_grid_report
     from repro.experiments.runner import (
         available_programs,
@@ -171,9 +174,13 @@ def cmd_grid(args) -> int:
         else available_programs()
     )
     engines = [e for e in args.engines.split(",") if e]
-    cells = expand_grid(
-        families_list, sizes, programs=programs, engines=engines, seed=args.seed
-    )
+    try:
+        cells = expand_grid(
+            families_list, sizes, programs=programs, engines=engines, seed=args.seed
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     results = run_grid(cells, jobs=args.jobs)
     report = engine_grid_report(results)
     if args.json_out:
@@ -226,7 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument(
         "--programs", default="", help="comma list (default: all runner programs)"
     )
-    p_grid.add_argument("--engines", default="reference,fast")
+    p_grid.add_argument("--engines", default="reference,fast,vector")
     p_grid.add_argument("--seed", type=int, default=7)
     p_grid.add_argument("--jobs", type=int, default=1)
     p_grid.add_argument("--json-out", default="", help="write full results JSON here")

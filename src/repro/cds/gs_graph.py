@@ -11,12 +11,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 
 from repro.analysis.verify import require_dominating_set
-from repro.errors import GraphError
 
 
 @dataclass

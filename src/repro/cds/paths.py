@@ -21,7 +21,7 @@ realize its edges by adding only the (at most 2) interior relay nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 import networkx as nx

@@ -9,6 +9,11 @@ Importing this package registers the bundled engines:
     Flat-array active-set loop, the default — per-round cost scales with
     live nodes and actual traffic
     (:class:`~repro.congest.engine.fast.FastEngine`).
+``vector``
+    Numpy message-plane loop for fixed-shape broadcast rounds — programs
+    declare :class:`MessageSpec` shapes and register a
+    :class:`VectorKernel`; everything else falls back to ``fast``
+    semantics (:class:`~repro.congest.engine.vector.VectorEngine`).
 
 Select an engine per run (``Simulator(..., engine="reference")``), process
 wide (:func:`set_default_engine`, the ``--engine`` CLI flags), or via the
@@ -27,6 +32,15 @@ from repro.congest.engine.base import (
 )
 from repro.congest.engine.fast import FastEngine
 from repro.congest.engine.reference import ReferenceEngine
+from repro.congest.engine.vector import (
+    CsrPlane,
+    MessageSpec,
+    PendingBroadcast,
+    VectorEngine,
+    VectorKernel,
+    kernel_for,
+    register_kernel,
+)
 
 __all__ = [
     "Engine",
@@ -39,4 +53,11 @@ __all__ = [
     "set_default_engine",
     "FastEngine",
     "ReferenceEngine",
+    "VectorEngine",
+    "CsrPlane",
+    "MessageSpec",
+    "PendingBroadcast",
+    "VectorKernel",
+    "kernel_for",
+    "register_kernel",
 ]

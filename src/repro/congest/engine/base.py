@@ -40,7 +40,7 @@ from typing import Dict, List, Type, Union
 
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
-from repro.errors import CongestError
+from repro.errors import CongestError, UnknownEngineError
 
 
 @dataclass
@@ -117,9 +117,7 @@ def set_default_engine(spec: Union[str, Engine, Type[Engine]]) -> None:
     global _DEFAULT_ENGINE
     if isinstance(spec, str):
         if spec not in _REGISTRY:
-            raise CongestError(
-                f"unknown engine {spec!r}; available: {', '.join(available_engines())}"
-            )
+            raise UnknownEngineError(spec, available_engines())
         _DEFAULT_ENGINE = spec
     elif isinstance(spec, Engine):
         _DEFAULT_ENGINE = spec.name
@@ -151,7 +149,5 @@ def resolve_engine(spec: EngineSpec = None) -> Engine:
         try:
             return _REGISTRY[spec]()
         except KeyError:
-            raise CongestError(
-                f"unknown engine {spec!r}; available: {', '.join(available_engines())}"
-            ) from None
+            raise UnknownEngineError(spec, available_engines()) from None
     raise CongestError(f"cannot interpret {spec!r} as an engine")

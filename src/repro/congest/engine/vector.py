@@ -1,0 +1,586 @@
+"""Vectorized numpy message-plane engine.
+
+The paper's algorithms are dominated by *fixed-shape broadcast rounds*:
+every sending node broadcasts the same small message — one tag plus a few
+bounded integer fields — to all of its neighbors.  For that traffic pattern
+the round loop does not need per-message ``dict`` work at all: a round is
+fully described by a **sender mask** plus one numpy column per declared
+field, and both delivery (gather through the CSR topology) and wire
+accounting (bit lengths, per-round totals, the CONGEST budget check) become
+O(1) array operations over the edge slots.
+
+Three pieces cooperate:
+
+* :class:`MessageSpec` — a program's declaration that one of its phases
+  broadcasts a fixed ``tag`` with named small-int fields.  The spec can
+  compute the *exact* wire size of a whole column of messages at once
+  (:meth:`MessageSpec.bits_array` replicates
+  :func:`repro.congest.message.message_bits` bit for bit), which is what
+  keeps ``bits_per_round`` / ``messages_per_round`` identical to the
+  reference engine.
+* :class:`VectorKernel` — a per-program-class state machine over flat numpy
+  arrays.  A kernel re-expresses the program's ``receive`` transition as
+  scatter/gather over the :class:`CsrPlane`; program modules register their
+  kernel with :func:`register_kernel`.
+* :class:`VectorEngine` — the engine.  It runs ``setup`` and any
+  non-conforming prefix of rounds through the exact
+  :class:`~repro.congest.engine.fast.FastEngine` scalar mechanics, then
+  hands the live state to the kernel at its declared ``takeover_round`` and
+  finishes the run with vectorized rounds.  Runs whose programs declare no
+  :attr:`~repro.congest.node.NodeProgram.message_specs`, have no registered
+  kernel, or queue non-broadcast traffic at the handover point fall back to
+  ``FastEngine`` semantics — the parity suite
+  (``tests/test_engine_parity.py``) proves all three engines
+  observationally identical either way.
+
+The handover is one-directional (scalar → vector) and happens at most
+once per run: fully-broadcast programs (greedy MDS, rounding execution,
+color reduction) take over at round 1, while the Lemma 3.10 loop runs its
+color-class rounds — targeted ``alpha`` sends, at most one decider per
+2-neighborhood — under scalar semantics and vectorizes the final
+execution-phase broadcasts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.congest.engine.base import Engine, SimulationResult, register_engine
+from repro.congest.engine.fast import _EMPTY_INBOX, FastEngine, Inboxes
+from repro.congest.message import (
+    FIELD_FRAMING_BITS,
+    MESSAGE_HEADER_BITS,
+)
+from repro.congest.network import Network
+from repro.congest.node import Context, NodeProgram
+from repro.errors import (
+    CongestError,
+    MessageTooLargeError,
+    SimulationLimitError,
+)
+
+__all__ = [
+    "CsrPlane",
+    "MessageSpec",
+    "PendingBroadcast",
+    "VectorEngine",
+    "VectorKernel",
+    "kernel_for",
+    "register_kernel",
+]
+
+#: Largest field value whose bit length the float64 ``frexp`` trick recovers
+#: exactly.  CONGEST fields are O(log n)-bit by design, so this is purely a
+#: guard against kernel bugs.
+_MAX_EXACT_FIELD = 1 << 53
+
+
+def bit_length_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.congest.message.bits_of_int`.
+
+    ``frexp`` returns the binary exponent of each value, which for positive
+    integers below 2**53 is exactly the bit length; zeros are charged one
+    bit, matching the scalar accounting.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and int(values.min()) < 0:
+        raise CongestError("message fields must be non-negative")
+    if values.size and int(values.max()) >= _MAX_EXACT_FIELD:
+        raise CongestError("message field too large for vectorized accounting")
+    _, exponents = np.frexp(values.astype(np.float64))
+    return np.where(values > 0, exponents, 1).astype(np.int64)
+
+
+class MessageSpec:
+    """Shape declaration for one fixed-form broadcast message family.
+
+    ``tag`` is the message tag; ``fields`` are the names of its integer
+    fields, in wire order.  A program lists the specs of its vector-eligible
+    broadcast phases in :attr:`NodeProgram.message_specs`; kernels use them
+    to build outbound columns and to account wire bits exactly.
+    """
+
+    __slots__ = ("tag", "fields")
+
+    def __init__(self, tag: str, *fields: str):
+        self.tag = tag
+        self.fields = fields
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def bits_array(self, columns: Sequence[np.ndarray]) -> np.ndarray:
+        """Exact per-sender wire size for one column of messages.
+
+        Replicates ``MESSAGE_HEADER_BITS + sum(FIELD_FRAMING_BITS +
+        bit_length(field))`` over whole arrays.
+        """
+        if len(columns) != self.arity:
+            raise CongestError(
+                f"spec {self.tag!r} expects {self.arity} fields, "
+                f"got {len(columns)} columns"
+            )
+        if not columns:
+            raise CongestError(f"spec {self.tag!r} declares no fields")
+        base = MESSAGE_HEADER_BITS + FIELD_FRAMING_BITS * self.arity
+        total = np.full(columns[0].shape, base, dtype=np.int64)
+        for column in columns:
+            total += bit_length_array(column)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageSpec({self.tag!r}, fields={self.fields!r})"
+
+
+class PendingBroadcast:
+    """One round's in-flight broadcast traffic, in columnar form.
+
+    ``mask[v]`` says whether node ``v`` broadcast this round; ``columns``
+    holds one full-length int64 array per spec field (entries of
+    non-senders are ignored); ``bits`` is the exact per-sender message
+    size.  Messages physically exist only on the wires of senders with at
+    least one neighbor — accounting and delivery both respect that.
+    """
+
+    __slots__ = ("spec", "mask", "columns", "bits")
+
+    def __init__(
+        self,
+        spec: MessageSpec,
+        mask: np.ndarray,
+        columns: Tuple[np.ndarray, ...],
+        bits: np.ndarray,
+    ):
+        self.spec = spec
+        self.mask = mask
+        self.columns = columns
+        self.bits = bits
+
+
+class CsrPlane:
+    """Numpy view of a network's CSR topology plus exact row reductions.
+
+    ``indices[indptr[v]:indptr[v+1]]`` are the neighbors of ``v`` (the
+    *slots* of row ``v``).  Row reductions use ``ufunc.reduceat`` over the
+    non-empty rows only, so isolated nodes are handled without branching
+    and all arithmetic stays in int64 (bit-exact, unlike float matvecs).
+    """
+
+    __slots__ = (
+        "n",
+        "nnz",
+        "indptr",
+        "indices",
+        "degrees",
+        "_nonempty",
+        "_starts",
+    )
+
+    def __init__(self, network: Network):
+        indptr, indices = network.csr()
+        self.indptr = _as_int64(indptr)
+        self.indices = _as_int64(indices)
+        self.n = network.n
+        self.nnz = int(self.indices.shape[0])
+        self.degrees = np.diff(self.indptr)
+        self._nonempty = self.degrees > 0
+        self._starts = self.indptr[:-1][self._nonempty]
+
+    def row_sum(self, slot_values: np.ndarray) -> np.ndarray:
+        """Per-node sum of ``slot_values`` over each node's slots."""
+        out = np.zeros(self.n, dtype=np.int64)
+        if self._starts.size:
+            values = np.asarray(slot_values).astype(np.int64, copy=False)
+            out[self._nonempty] = np.add.reduceat(values, self._starts)
+        return out
+
+    def row_max(self, slot_values: np.ndarray, empty: int) -> np.ndarray:
+        """Per-node max of ``slot_values``; ``empty`` for isolated nodes."""
+        out = np.full(self.n, empty, dtype=np.int64)
+        if self._starts.size:
+            values = np.asarray(slot_values).astype(np.int64, copy=False)
+            out[self._nonempty] = np.maximum.reduceat(values, self._starts)
+        return out
+
+    def row_any(self, slot_flags: np.ndarray) -> np.ndarray:
+        """Per-node "any slot true" as a boolean array."""
+        return self.row_sum(slot_flags) > 0
+
+    def sent_slots(self, pending: Optional[PendingBroadcast]) -> np.ndarray:
+        """Slot-level sender flags for one round of broadcast traffic."""
+        if pending is None:
+            return np.zeros(self.nnz, dtype=bool)
+        return pending.mask[self.indices]
+
+    def gather(self, per_node: np.ndarray) -> np.ndarray:
+        """Slot-level view of a per-node array (value of each slot's peer)."""
+        return per_node[self.indices]
+
+
+def _as_int64(values) -> np.ndarray:
+    if isinstance(values, array) and values.itemsize == 8:
+        return np.frombuffer(values, dtype=np.int64)
+    return np.asarray(values, dtype=np.int64)
+
+
+class VectorKernel(ABC):
+    """Vectorized state machine for one node-program class.
+
+    A kernel is constructed at handover time with the plane and the live
+    per-node program/context state; from then on :meth:`step` is the whole
+    round: consume the inbound :class:`PendingBroadcast`, update state,
+    record outputs/halts, and return the next round's outbound broadcast
+    (or ``None`` for a silent round).  The engine owns accounting and
+    termination; the kernel owns semantics.
+    """
+
+    #: Filled in by :func:`register_kernel`.
+    program_class: Type[NodeProgram]
+
+    def __init__(
+        self,
+        plane: CsrPlane,
+        network: Network,
+        programs: Dict[int, NodeProgram],
+        contexts: Dict[int, Context],
+    ):
+        self.plane = plane
+        self.network = network
+        self.live = np.fromiter(
+            (not contexts[v]._halted for v in range(plane.n)),
+            dtype=bool,
+            count=plane.n,
+        )
+        self._outputs: Dict[int, Dict[str, object]] = {}
+
+    @classmethod
+    def eligible(
+        cls, network: Network, programs: Dict[int, NodeProgram]
+    ) -> bool:
+        """Whether this run's inputs fit the vectorized implementation."""
+        return True
+
+    @classmethod
+    def takeover_round(
+        cls, network: Network, programs: Dict[int, NodeProgram]
+    ) -> int:
+        """First round to execute vectorized (rounds before it run scalar)."""
+        return 1
+
+    @property
+    def live_count(self) -> int:
+        return int(self.live.sum())
+
+    def output(self, node: int, key: str, value: object) -> None:
+        """Record one node's local output (mirrors ``Context.output``)."""
+        self._outputs.setdefault(node, {})[key] = value
+
+    def write_outputs(self, outputs: Dict[int, Dict[str, object]]) -> None:
+        """Merge kernel-recorded outputs over the scalar-phase outputs."""
+        for node, values in self._outputs.items():
+            outputs[node].update(values)
+
+    @abstractmethod
+    def step(
+        self, round_no: int, inbound: Optional[PendingBroadcast]
+    ) -> Optional[PendingBroadcast]:
+        """Execute one delivered round; return next round's sends."""
+
+
+_KERNELS: Dict[Type[NodeProgram], Type[VectorKernel]] = {}
+
+
+def register_kernel(program_cls: Type[NodeProgram]):
+    """Class decorator: attach a kernel to a node-program class."""
+
+    def decorate(kernel_cls: Type[VectorKernel]) -> Type[VectorKernel]:
+        kernel_cls.program_class = program_cls
+        _KERNELS[program_cls] = kernel_cls
+        return kernel_cls
+
+    return decorate
+
+
+def kernel_for(program_cls: Type[NodeProgram]) -> Optional[Type[VectorKernel]]:
+    """The registered kernel for a program class, if any."""
+    return _KERNELS.get(program_cls)
+
+
+#: Sentinel: the queued traffic at the handover point was not a conforming
+#: single-tag full broadcast, so the run must stay on scalar semantics.
+_NONCONFORMING = object()
+
+
+@register_engine
+class VectorEngine(Engine):
+    """Numpy message-plane engine with scalar fallback (see module doc)."""
+
+    name = "vector"
+
+    def __init__(self) -> None:
+        self._scalar = FastEngine()
+
+    def run(
+        self,
+        network: Network,
+        programs: Dict[int, NodeProgram],
+        contexts: Dict[int, Context],
+        max_rounds: int,
+    ) -> SimulationResult:
+        kernel_cls = self._kernel_class(programs)
+        if kernel_cls is None or not kernel_cls.eligible(network, programs):
+            return self._scalar.run(network, programs, contexts, max_rounds)
+        return self._run_hybrid(
+            kernel_cls, network, programs, contexts, max_rounds
+        )
+
+    # -- eligibility ---------------------------------------------------------
+
+    @staticmethod
+    def _kernel_class(
+        programs: Dict[int, NodeProgram],
+    ) -> Optional[Type[VectorKernel]]:
+        """The kernel to use, or ``None`` when the run must stay scalar.
+
+        Requires a homogeneous program population whose class both declares
+        :attr:`NodeProgram.message_specs` (the per-phase opt-in) and has a
+        registered kernel.
+        """
+        if not programs:
+            return None
+        cls = type(programs[0])
+        if not getattr(cls, "message_specs", ()):
+            return None
+        kernel_cls = _KERNELS.get(cls)
+        if kernel_cls is None:
+            return None
+        if any(type(p) is not cls for p in programs.values()):
+            return None
+        return kernel_cls
+
+    # -- hybrid loop ---------------------------------------------------------
+
+    def _run_hybrid(
+        self,
+        kernel_cls: Type[VectorKernel],
+        network: Network,
+        programs: Dict[int, NodeProgram],
+        contexts: Dict[int, Context],
+        max_rounds: int,
+    ) -> SimulationResult:
+        n = network.n
+        budget = network.bit_budget
+        records = [(v, contexts[v], programs[v].receive) for v in range(n)]
+
+        for v, ctx, _ in records:
+            ctx.round_number = 0
+            programs[v].setup(ctx)
+
+        active = [rec for rec in records if not rec[1]._halted]
+        drain: Sequence[tuple] = records
+        inboxes: Inboxes = [None] * n
+
+        total_messages = 0
+        total_bits = 0
+        max_bits = 0
+        messages_per_round: List[int] = []
+        bits_per_round: List[int] = []
+
+        takeover: Optional[int] = kernel_cls.takeover_round(network, programs)
+        pending: Optional[PendingBroadcast] = None
+        handover = False
+        rounds = 0
+
+        # Scalar prefix: exact FastEngine mechanics until the kernel's
+        # takeover round (round 1 for fully-broadcast programs).
+        while rounds < max_rounds:
+            if takeover is not None and rounds + 1 >= takeover:
+                collected = self._collect_handover(
+                    drain, kernel_cls.program_class.message_specs, n
+                )
+                if collected is _NONCONFORMING:
+                    takeover = None  # stay scalar for the whole run
+                else:
+                    pending = collected
+                    handover = True
+                    break
+
+            touched, sizes = FastEngine._collect_traffic(drain, inboxes)
+            round_messages = len(sizes)
+            round_bits, max_bits = FastEngine._charge(
+                sizes, inboxes, touched, budget, max_bits
+            )
+            total_bits += round_bits
+
+            if not active:
+                for to in touched:
+                    inboxes[to] = None
+                break
+
+            rounds += 1
+            total_messages += round_messages
+            messages_per_round.append(round_messages)
+            bits_per_round.append(round_bits)
+
+            still_active = []
+            keep = still_active.append
+            for rec in active:
+                v, ctx, recv = rec
+                ctx.round_number = rounds
+                box = inboxes[v]
+                if box is None:
+                    recv(ctx, _EMPTY_INBOX)
+                else:
+                    inboxes[v] = None
+                    recv(ctx, box)
+                if not ctx._halted:
+                    keep(rec)
+            for to in touched:
+                inboxes[to] = None
+
+            drain = active
+            active = still_active
+            if not active:
+                break
+        else:
+            raise SimulationLimitError(
+                f"simulation did not terminate within {max_rounds} rounds"
+            )
+
+        kernel: Optional[VectorKernel] = None
+        if handover:
+            plane = CsrPlane(network)
+            kernel = kernel_cls(plane, network, programs, contexts)
+            while rounds < max_rounds:
+                round_messages, round_bits, wire_max = self._account(
+                    plane, pending, budget
+                )
+                total_bits += round_bits
+                if wire_max > max_bits:
+                    max_bits = wire_max
+
+                if kernel.live_count == 0:
+                    break  # in-flight traffic charged, round not executed
+
+                rounds += 1
+                total_messages += round_messages
+                messages_per_round.append(round_messages)
+                bits_per_round.append(round_bits)
+
+                pending = kernel.step(rounds, pending)
+                if kernel.live_count == 0:
+                    # Mirrors the scalar engines' bottom-of-loop break: when
+                    # a round ends with every node halted, traffic queued
+                    # during that round is discarded *uncharged* (the scalar
+                    # loops never reach their next top-of-loop collection).
+                    break
+            else:
+                raise SimulationLimitError(
+                    f"simulation did not terminate within {max_rounds} rounds"
+                )
+
+        outputs = {v: dict(ctx._outputs) for v, ctx in contexts.items()}
+        if kernel is not None:
+            kernel.write_outputs(outputs)
+            all_halted = kernel.live_count == 0
+        else:
+            all_halted = not active
+        return SimulationResult(
+            rounds=rounds,
+            total_messages=total_messages,
+            total_bits=total_bits,
+            max_message_bits=max_bits,
+            outputs=outputs,
+            all_halted=all_halted,
+            messages_per_round=messages_per_round,
+            bits_per_round=bits_per_round,
+        )
+
+    # -- message plane -------------------------------------------------------
+
+    @staticmethod
+    def _collect_handover(
+        drain: Sequence[tuple],
+        specs: Sequence[MessageSpec],
+        n: int,
+    ):
+        """Drain queued outboxes into one :class:`PendingBroadcast`.
+
+        Returns the pending traffic (possibly with an all-false mask), or
+        :data:`_NONCONFORMING` when any queued outbox is not a full
+        single-message broadcast with a declared tag — partial sends,
+        per-neighbor messages and unknown tags all disqualify the round,
+        in which case no outbox is touched and scalar execution continues.
+        """
+        spec_by_tag = {spec.tag: spec for spec in specs}
+        senders: List[tuple] = []
+        spec: Optional[MessageSpec] = None
+        for rec in drain:
+            ctx = rec[1]
+            out = ctx._outbox
+            if not out:
+                continue
+            if len(out) != ctx.degree:
+                return _NONCONFORMING
+            messages = iter(out.values())
+            first = next(messages)
+            for msg in messages:
+                if msg is not first and msg != first:
+                    return _NONCONFORMING
+            if spec is None:
+                spec = spec_by_tag.get(first.tag)
+                if spec is None or len(first.fields) != spec.arity:
+                    return _NONCONFORMING
+            elif first.tag != spec.tag or len(first.fields) != spec.arity:
+                return _NONCONFORMING
+            senders.append((rec[0], ctx, first))
+
+        mask = np.zeros(n, dtype=bool)
+        if spec is None:
+            spec = specs[0]  # silent handover round: any spec will do
+        columns = tuple(
+            np.zeros(n, dtype=np.int64) for _ in range(spec.arity)
+        )
+        bits = np.zeros(n, dtype=np.int64)
+        for v, ctx, msg in senders:
+            ctx._outbox = {}
+            mask[v] = True
+            for i, field in enumerate(msg.fields):
+                columns[i][v] = field
+            bits[v] = msg.bits
+        return PendingBroadcast(spec, mask, columns, bits)
+
+    @staticmethod
+    def _account(
+        plane: CsrPlane,
+        pending: Optional[PendingBroadcast],
+        budget: Optional[int],
+    ) -> Tuple[int, int, int]:
+        """Exact wire totals ``(messages, bits, max_bits)`` for one round.
+
+        A broadcast puts ``degree`` copies of the sender's message on the
+        wire, so per-round counts are degree-weighted sums over the sender
+        mask — no per-edge materialization.  Raises
+        :class:`MessageTooLargeError` for the lowest-id over-budget sender,
+        matching the scalar engines' ascending scan.
+        """
+        if pending is None:
+            return 0, 0, 0
+        on_wire = pending.mask & (plane.degrees > 0)
+        if not on_wire.any():
+            return 0, 0, 0
+        degrees = plane.degrees[on_wire]
+        bits = pending.bits[on_wire]
+        wire_max = int(bits.max())
+        if budget is not None and wire_max > budget:
+            sender = int(np.flatnonzero(on_wire & (pending.bits > budget))[0])
+            receiver = int(plane.indices[plane.indptr[sender]])
+            raise MessageTooLargeError(
+                sender, receiver, int(pending.bits[sender]), budget
+            )
+        return int(degrees.sum()), int((degrees * bits).sum()), wire_max

@@ -19,6 +19,26 @@ from repro.errors import GraphError
 from repro.util.mathx import ceil_log2
 
 
+def _as_long_array(values) -> array:
+    """Copy an int sequence into an ``array('l')`` without a Python loop.
+
+    The shared-memory worker path hands over numpy int64 arrays for graphs
+    with up to millions of edges; routing the copy through ``frombytes``
+    keeps it a C-level memcpy (numpy ``dtype('l')`` is the same C ``long``
+    as the ``array`` typecode) instead of per-element ``int()`` calls.
+    """
+    if isinstance(values, array) and values.typecode == "l":
+        out = array("l")
+        out.frombytes(values.tobytes())
+        return out
+    import numpy as np
+
+    contiguous = np.ascontiguousarray(values, dtype=np.dtype("l"))
+    out = array("l")
+    out.frombytes(contiguous.tobytes())
+    return out
+
+
 def congest_bit_budget(n: int, factor: int = 16, base: int = 96) -> int:
     """Default CONGEST message budget in bits for an ``n``-node network.
 
@@ -50,7 +70,7 @@ class Network:
                 "network nodes must be labelled 0..n-1; "
                 "use repro.graphs.normalize_graph first"
             )
-        self.graph = graph
+        self._graph: nx.Graph | None = graph
         self.n = n
         self.bit_budget = bit_budget
         # Flat CSR adjacency, compiled once: node v's sorted neighbors are
@@ -74,6 +94,56 @@ class Network:
     def local(cls, graph: nx.Graph) -> "Network":
         """LOCAL-model network (unbounded messages)."""
         return cls(graph, bit_budget=None)
+
+    @classmethod
+    def from_csr(
+        cls,
+        indptr,
+        indices,
+        bit_budget: int | None = None,
+    ) -> "Network":
+        """Rebuild a network directly from flat CSR adjacency arrays.
+
+        This is the shared-memory transport path: a worker process receives
+        the ``(indptr, indices)`` arrays another process compiled (e.g. via
+        ``multiprocessing.shared_memory``) and reconstructs an equivalent
+        network without re-generating — or even materializing — the
+        ``networkx`` graph.  The ``graph`` property rebuilds one lazily if
+        an algorithm outside the simulator needs it.
+
+        ``indptr``/``indices`` may be any int sequences (``array('l')``,
+        numpy arrays, lists); they are copied into the canonical ``array``
+        representation so the instance owns its topology.
+        """
+        net = cls.__new__(cls)
+        n = len(indptr) - 1
+        if n <= 0:
+            raise GraphError("network requires a non-empty graph")
+        net._graph = None
+        net.n = n
+        net.bit_budget = bit_budget
+        net._indptr = _as_long_array(indptr)
+        net._indices = _as_long_array(indices)
+        net._neighbors = {}
+        if net._indptr[0] != 0 or net._indptr[-1] != len(net._indices):
+            raise GraphError("malformed CSR adjacency: bad indptr bounds")
+        return net
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The ``networkx`` view of the topology (rebuilt lazily after
+        :meth:`from_csr`; the constructor argument otherwise)."""
+        if self._graph is None:
+            g = nx.Graph()
+            g.add_nodes_from(range(self.n))
+            indptr, indices = self._indptr, self._indices
+            for v in range(self.n):
+                for i in range(indptr[v], indptr[v + 1]):
+                    u = indices[i]
+                    if u > v:
+                        g.add_edge(v, u)
+            self._graph = g
+        return self._graph
 
     def neighbors(self, v: int) -> Tuple[int, ...]:
         """Sorted neighbor tuple of ``v`` (the port numbering)."""

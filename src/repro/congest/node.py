@@ -111,6 +111,17 @@ class NodeProgram:
     #: making round cost proportional to messages instead of live nodes.
     event_driven = False
 
+    #: Vectorization contract (per-phase opt-in): the
+    #: :class:`~repro.congest.engine.vector.MessageSpec` shapes of every
+    #: broadcast phase this program wants executed on the numpy message
+    #: plane — a fixed tag plus named small-int fields, sent identically to
+    #: all neighbors.  Non-empty only makes the program *eligible*; the
+    #: vector engine also needs a registered
+    #: :class:`~repro.congest.engine.vector.VectorKernel` for the class,
+    #: and any phase whose traffic does not conform (targeted sends, mixed
+    #: tags, partial broadcasts) runs under FastEngine semantics instead.
+    message_specs: tuple = ()
+
     def __init__(self, input_value: object = None):
         self.input = input_value
 

@@ -86,7 +86,7 @@ class BFSTreeProgram(NodeProgram):
 
 
 def run_bfs_forest(
-    graph: nx.Graph,
+    graph: nx.Graph | None,
     roots: Iterable[int],
     network: Network | None = None,
     engine: EngineSpec = None,
@@ -94,14 +94,15 @@ def run_bfs_forest(
     """Build a BFS forest from ``roots`` on the simulator.
 
     Returns ``(root_of, dist_of, parent_of, result)`` where unreached nodes
-    map to ``-1`` / ``-1`` / ``-1``.
+    map to ``-1`` / ``-1`` / ``-1``.  ``graph`` may be ``None`` when
+    ``network`` is given (e.g. a shared-memory CSR reconstruction).
     """
     network = network or Network.congest(graph)
     root_set = set(roots)
     sim = Simulator(
         network,
         BFSTreeProgram,
-        inputs={v: (v in root_set) for v in graph.nodes()},
+        inputs={v: (v in root_set) for v in range(network.n)},
         engine=engine,
     )
     result = sim.run(max_rounds=4 * network.n + 10)

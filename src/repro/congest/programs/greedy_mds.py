@@ -20,11 +20,18 @@ Each phase costs four CONGEST rounds:
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
-from repro.congest.engine import EngineSpec
+from repro.congest.engine import (
+    EngineSpec,
+    MessageSpec,
+    PendingBroadcast,
+    VectorKernel,
+    register_kernel,
+)
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -33,6 +40,15 @@ from repro.congest.simulator import SimulationResult, Simulator
 
 class DistributedGreedyProgram(NodeProgram):
     """Output per node: ``in_ds`` (0/1).  No per-node input needed."""
+
+    #: All four phase steps are fixed-shape broadcasts, so the whole
+    #: program runs on the vector engine's message plane.
+    message_specs = (
+        MessageSpec("cov", "covered"),
+        MessageSpec("span", "span", "node"),
+        MessageSpec("best", "span", "node"),
+        MessageSpec("join", "joined"),
+    )
 
     def __init__(self, input_value: object = None):
         super().__init__(input_value)
@@ -103,12 +119,114 @@ class DistributedGreedyProgram(NodeProgram):
             ctx.broadcast(Message("cov", int(self.covered)))
 
 
+@register_kernel(DistributedGreedyProgram)
+class DistributedGreedyKernel(VectorKernel):
+    """Vector transcription of the four-step greedy phase.
+
+    Per-node dicts become flat planes: ``ncov`` keeps the last-heard
+    covered bit per CSR edge slot (the ``neighbor_covered`` map), spans are
+    CSR row sums, and the 2-hop maximum runs on a packed integer key that
+    orders exactly like the scalar ``(span, -id)`` pair:
+    ``key = span * n + (n - 1 - id)``.
+    """
+
+    _SPEC = {spec.tag: spec for spec in DistributedGreedyProgram.message_specs}
+
+    def __init__(self, plane, network, programs, contexts):
+        super().__init__(plane, network, programs, contexts)
+        n = plane.n
+        self.ids = np.arange(n, dtype=np.int64)
+        self.covered = np.fromiter(
+            (programs[v].covered for v in range(n)), dtype=bool, count=n
+        )
+        self.in_ds = np.fromiter(
+            (programs[v].in_ds for v in range(n)), dtype=bool, count=n
+        )
+        #: Last-heard covered bit per edge slot; unheard counts as uncovered,
+        #: like ``neighbor_covered.get(u, False)``.
+        self.ncov = np.zeros(plane.nnz, dtype=np.int64)
+        self.span = np.zeros(n, dtype=np.int64)
+        self.best_key = np.zeros(n, dtype=np.int64)
+
+    def _own_key(self) -> np.ndarray:
+        return self.span * self.plane.n + (self.plane.n - 1 - self.ids)
+
+    def _received_key_max(
+        self, inbound: Optional[PendingBroadcast]
+    ) -> np.ndarray:
+        """Per-node max packed key over this round's (span, id) messages."""
+        plane = self.plane
+        if inbound is None:
+            return np.full(plane.n, -1, dtype=np.int64)
+        sent = plane.sent_slots(inbound)
+        span_slot = inbound.columns[0][plane.indices]
+        id_slot = inbound.columns[1][plane.indices]
+        key_slot = span_slot * plane.n + (plane.n - 1 - id_slot)
+        return plane.row_max(np.where(sent, key_slot, -1), empty=-1)
+
+    def _broadcast(self, tag: str, *columns: np.ndarray) -> PendingBroadcast:
+        spec = self._SPEC[tag]
+        return PendingBroadcast(
+            spec, self.live.copy(), columns, spec.bits_array(columns)
+        )
+
+    def step(
+        self, round_no: int, inbound: Optional[PendingBroadcast]
+    ) -> Optional[PendingBroadcast]:
+        plane = self.plane
+        step = (round_no - 1) % 4
+        if step == 0:
+            # Covered bits arrive; halt exhausted nodes, announce spans.
+            if inbound is not None:
+                sent = plane.sent_slots(inbound)
+                self.ncov[sent] = inbound.columns[0][plane.indices[sent]]
+            self.span = (
+                (~self.covered).astype(np.int64)
+                + plane.degrees
+                - plane.row_sum(self.ncov)
+            )
+            halting = self.live & self.covered & (self.span == 0)
+            if halting.any():
+                for v in np.flatnonzero(halting):
+                    self.output(int(v), "in_ds", int(self.in_ds[v]))
+                self.live &= ~halting
+            if not self.live.any():
+                return None
+            return self._broadcast("span", self.span, self.ids)
+        if step == 1:
+            # Spans arrive; forward the inclusive-neighborhood maximum.
+            self.best_key = np.maximum(
+                self._received_key_max(inbound), self._own_key()
+            )
+            n = plane.n
+            return self._broadcast(
+                "best", self.best_key // n, n - 1 - self.best_key % n
+            )
+        if step == 2:
+            # 1-hop maxima arrive; locally maximal uncovered-span nodes join.
+            two_hop = np.maximum(self._received_key_max(inbound), self.best_key)
+            joining = self.live & (self.span > 0) & (self._own_key() >= two_hop)
+            self.in_ds |= joining
+            self.covered |= joining
+            return self._broadcast("join", self.in_ds.astype(np.int64))
+        # Joins arrive; fold coverage and start the next phase.
+        if inbound is not None:
+            sent = plane.sent_slots(inbound)
+            joined = sent & (inbound.columns[0][plane.indices] == 1)
+            self.ncov[joined] = 1
+            self.covered |= self.live & plane.row_any(joined)
+        return self._broadcast("cov", self.covered.astype(np.int64))
+
+
 def run_distributed_greedy(
-    graph: nx.Graph,
+    graph: nx.Graph | None,
     network: Network | None = None,
     engine: EngineSpec = None,
 ) -> Tuple[Set[int], SimulationResult]:
-    """Run the program; returns the dominating set and simulator metrics."""
+    """Run the program; returns the dominating set and simulator metrics.
+
+    ``graph`` may be ``None`` when ``network`` is given.
+    """
     network = network or Network.congest(graph)
     sim = Simulator(network, DistributedGreedyProgram, engine=engine)
     result = sim.run(max_rounds=8 * network.n + 16)

@@ -25,11 +25,18 @@ to the paper's alpha quantization; tests compare the two end to end.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
-from repro.congest.engine import EngineSpec
+from repro.congest.engine import (
+    EngineSpec,
+    MessageSpec,
+    PendingBroadcast,
+    VectorKernel,
+    register_kernel,
+)
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -46,6 +53,17 @@ class Lemma310Program(NodeProgram):
     Output per node: ``value`` (final grid numerator after phase two) and,
     for participants, ``coin`` (0/1).
     """
+
+    #: The broadcast-shaped phases (value exchange, coin announcements and
+    #: the execution rounds).  The color-class rounds use targeted
+    #: ``announce``/``alpha`` sends and are *not* vector-eligible — the
+    #: vector engine runs them under FastEngine semantics and takes over at
+    #: the execution phase (see :class:`Lemma310ExecutionKernel`).
+    message_specs = (
+        MessageSpec("xp", "x_num", "p_num"),
+        MessageSpec("fixed", "coin"),
+        MessageSpec("exec", "value"),
+    )
 
     def __init__(self, input_value: object = None):
         super().__init__(input_value)
@@ -224,6 +242,72 @@ class Lemma310Program(NodeProgram):
             if self.coin is not None:
                 ctx.output("coin", self.coin)
             ctx.halt()
+
+
+@register_kernel(Lemma310Program)
+class Lemma310ExecutionKernel(VectorKernel):
+    """Vectorized execution phase of the Lemma 3.10 loop.
+
+    The conditional-expectation rounds (announce / alpha / decide per color
+    class) involve targeted sends and per-node estimator math, so the
+    engine runs them scalar; takeover happens at round ``2 + 3 *
+    num_colors``, the first execution round, where every node has queued
+    its ``exec`` broadcast of the phase-one value.  From there the
+    constraint check is one int64 scatter/gather round.
+    """
+
+    @classmethod
+    def eligible(cls, network, programs) -> bool:
+        num_colors = {p.num_colors for p in programs.values()}
+        return len(num_colors) == 1
+
+    @classmethod
+    def takeover_round(cls, network, programs) -> int:
+        return 2 + 3 * programs[0].num_colors
+
+    def __init__(self, plane, network, programs, contexts):
+        super().__init__(plane, network, programs, contexts)
+        n = plane.n
+        self.final_x = np.fromiter(
+            (programs[v]._final_x or 0 for v in range(n)),
+            dtype=np.int64,
+            count=n,
+        )
+        self.c_num = np.fromiter(
+            (programs[v].c_num for v in range(n)), dtype=np.int64, count=n
+        )
+        self.scale = np.fromiter(
+            (programs[v].scale for v in range(n)), dtype=np.int64, count=n
+        )
+        self.coin = np.fromiter(
+            (
+                -1 if programs[v].coin is None else programs[v].coin
+                for v in range(n)
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+
+    def step(
+        self, round_no: int, inbound: Optional[PendingBroadcast]
+    ) -> Optional[PendingBroadcast]:
+        plane = self.plane
+        sent = plane.sent_slots(inbound)
+        heard = plane.row_sum(sent)
+        received = plane.row_sum(np.where(sent, plane.gather(self.final_x), 0))
+        # A node finishes once it heard the phase-one value of its whole
+        # neighborhood in one round (all nodes broadcast simultaneously).
+        finishing = self.live & (heard == plane.degrees)
+        if finishing.any():
+            covered = self.final_x + received
+            final = np.where(covered < self.c_num, self.scale, self.final_x)
+            for v in np.flatnonzero(finishing):
+                node = int(v)
+                self.output(node, "value", int(final[v]))
+                if self.coin[v] >= 0:
+                    self.output(node, "coin", int(self.coin[v]))
+            self.live &= ~finishing
+        return None
 
 
 def run_lemma310_on_graph(

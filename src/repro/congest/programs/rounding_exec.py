@@ -17,11 +17,18 @@ Values travel as grid numerators; one value per message.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
-from repro.congest.engine import EngineSpec
+from repro.congest.engine import (
+    EngineSpec,
+    MessageSpec,
+    PendingBroadcast,
+    VectorKernel,
+    register_kernel,
+)
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -37,6 +44,9 @@ class RoundingExecutionProgram(NodeProgram):
     ``value`` — the final numerator after phase two (``scale`` if the node
     joined the dominating set).
     """
+
+    #: One broadcast phase: every node announces its phase-one numerator.
+    message_specs = (MessageSpec("val", "value"),)
 
     def __init__(self, input_value: object = None):
         super().__init__(input_value)
@@ -55,6 +65,47 @@ class RoundingExecutionProgram(NodeProgram):
             final = self.x_num
         ctx.output("value", final)
         ctx.halt()
+
+
+@register_kernel(RoundingExecutionProgram)
+class RoundingExecutionKernel(VectorKernel):
+    """Vector transcription of the single constraint-check round.
+
+    Phase two is one broadcast round: sum the delivered numerators over
+    each inclusive neighborhood (an exact int64 CSR row reduction) and
+    compare against the constraint — every live node outputs and halts in
+    the same round, exactly like the scalar ``receive``.
+    """
+
+    def __init__(self, plane, network, programs, contexts):
+        super().__init__(plane, network, programs, contexts)
+        n = plane.n
+        self.x_num = np.fromiter(
+            (programs[v].x_num for v in range(n)), dtype=np.int64, count=n
+        )
+        self.c_num = np.fromiter(
+            (programs[v].c_num for v in range(n)), dtype=np.int64, count=n
+        )
+        self.scale = np.fromiter(
+            (programs[v].scale for v in range(n)), dtype=np.int64, count=n
+        )
+
+    def step(
+        self, round_no: int, inbound: Optional[PendingBroadcast]
+    ) -> Optional[PendingBroadcast]:
+        plane = self.plane
+        sent = plane.sent_slots(inbound)
+        received = (
+            plane.row_sum(np.where(sent, plane.gather(self.x_num), 0))
+            if inbound is not None
+            else np.zeros(plane.n, dtype=np.int64)
+        )
+        covered = self.x_num + received
+        final = np.where(covered < self.c_num, self.scale, self.x_num)
+        for v in np.flatnonzero(self.live):
+            self.output(int(v), "value", int(final[v]))
+        self.live[:] = False
+        return None
 
 
 def run_rounding_execution(

@@ -31,7 +31,7 @@ from repro.derand.estimators import EstimatorConfig
 from repro.domsets.covering import CoveringInstance
 from repro.errors import InfeasibleSolutionError
 from repro.rounding.abstract import RoundingScheme
-from repro.rounding.schemes import factor_two_scheme, one_shot_scheme
+from repro.rounding.schemes import one_shot_scheme
 from repro.util.mathx import ceil_log2
 from repro.util.transmittable import TransmittableGrid
 

@@ -24,6 +24,33 @@ class CongestError(ReproError):
     """The CONGEST simulator detected a protocol violation."""
 
 
+class UnknownEngineError(CongestError):
+    """A simulation engine was requested by a name that is not registered.
+
+    Raised by engine resolution and by the batch runner's grid expansion so
+    that a typo in ``--engine`` surfaces as one structured library error
+    (never a bare ``KeyError``) listing the registered engine names.
+    """
+
+    def __init__(self, name: str, available: "list[str]"):
+        self.name = name
+        self.available = list(available)
+        super().__init__(
+            f"unknown engine {name!r}; available: {', '.join(self.available)}"
+        )
+
+
+class UnknownProgramError(ReproError):
+    """A batch-runner node program was requested by an unknown name."""
+
+    def __init__(self, name: str, available: "list[str]"):
+        self.name = name
+        self.available = list(available)
+        super().__init__(
+            f"unknown program {name!r}; available: {', '.join(self.available)}"
+        )
+
+
 class MessageTooLargeError(CongestError):
     """A node program attempted to send a message above the bit budget."""
 

@@ -1,11 +1,14 @@
-"""E10 — CONGEST accounting: measured rounds and message sizes.
+"""E10 — CONGEST accounting: rounds, message sizes and congestion.
 
 Runs the actually-simulated primitives (BFS forest, tree aggregation,
 rounding execution, the distributed Lemma 3.10 loop) and reports measured
 rounds against their analytic budgets and the maximum message size against
 the O(log n)-bit budget.  The bit budget is *enforced* by the simulator —
 a single oversized message raises — so this table doubles as evidence the
-algorithms are CONGEST-honest.
+algorithms are CONGEST-honest.  The ``congestion`` column condenses each
+run's per-round ``bits_per_round`` series into an equal-width histogram
+(``lo-hi:rounds``), exposing the traffic shape — a BFS wave's ramp, the
+greedy phases' four-step cycle — that totals alone hide.
 """
 
 from __future__ import annotations
@@ -22,14 +25,18 @@ from repro.congest.programs.lemma310 import run_lemma310_on_graph
 from repro.congest.programs.rounding_exec import run_rounding_execution
 from repro.coloring.distance2 import distance2_coloring
 from repro.domsets.covering import CoveringInstance
-from repro.experiments.harness import ExperimentReport, standard_suite
+from repro.experiments.harness import (
+    ExperimentReport,
+    render_congestion,
+    standard_suite,
+)
 from repro.fractional.raising import kmw06_initial_fds
 from repro.rounding.schemes import one_shot_scheme
 from repro.util.transmittable import TransmittableGrid
 
 COLUMNS = [
     "graph", "n", "primitive", "rounds", "round_budget", "max_bits",
-    "bit_budget", "messages",
+    "bit_budget", "messages", "congestion",
 ]
 
 
@@ -54,6 +61,7 @@ def run(fast: bool = True) -> ExperimentReport:
             graph=inst.name, n=n, primitive="bfs", rounds=sim.rounds,
             round_budget=diameter + 3, max_bits=sim.max_message_bits,
             bit_budget=budget, messages=sim.total_messages,
+            congestion=render_congestion(sim.bits_per_round),
         )
         report.check("bfs_rounds", sim.rounds <= diameter + 3)
         report.check("bits", sim.max_message_bits <= budget)
@@ -70,6 +78,7 @@ def run(fast: bool = True) -> ExperimentReport:
             graph=inst.name, n=n, primitive="rounding-exec", rounds=sim2.rounds,
             round_budget=2, max_bits=sim2.max_message_bits,
             bit_budget=budget, messages=sim2.total_messages,
+            congestion=render_congestion(sim2.bits_per_round),
         )
         report.check("exec_rounds", sim2.rounds <= 2)
         report.check("bits", sim2.max_message_bits <= budget)
@@ -91,6 +100,7 @@ def run(fast: bool = True) -> ExperimentReport:
             graph=inst.name, n=n, primitive="lemma3.10-loop", rounds=sim3.rounds,
             round_budget=round_budget, max_bits=sim3.max_message_bits,
             bit_budget=budget, messages=sim3.total_messages,
+            congestion=render_congestion(sim3.bits_per_round),
         )
         report.check("lemma310_rounds", sim3.rounds <= round_budget)
         report.check("bits", sim3.max_message_bits <= budget)
@@ -101,6 +111,7 @@ def run(fast: bool = True) -> ExperimentReport:
             graph=inst.name, n=n, primitive="dist-greedy", rounds=sim4.rounds,
             round_budget=8 * n + 16, max_bits=sim4.max_message_bits,
             bit_budget=budget, messages=sim4.total_messages,
+            congestion=render_congestion(sim4.bits_per_round),
         )
         report.check("greedy_valid", is_dominating_set(graph, ds))
         report.check("bits", sim4.max_message_bits <= budget)
@@ -112,6 +123,7 @@ def run(fast: bool = True) -> ExperimentReport:
             graph=inst.name, n=n, primitive="color-reduction", rounds=sim5.rounds,
             round_budget=n + 2, max_bits=sim5.max_message_bits,
             bit_budget=budget, messages=sim5.total_messages,
+            congestion=render_congestion(sim5.bits_per_round),
         )
         report.check("colors_delta_plus_1", used <= inst.max_degree + 1)
         report.check("bits", sim5.max_message_bits <= budget)

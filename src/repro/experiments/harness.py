@@ -21,6 +21,7 @@ FULL_SIZES = (60, 120, 240)
 ENGINE_GRID_FAMILIES = ("gnp", "grid", "tree")
 ENGINE_GRID_SIZES_FAST = (60, 120)
 ENGINE_GRID_SIZES_FULL = (120, 400, 1000)
+ENGINE_GRID_ENGINES = ("reference", "fast", "vector")
 
 
 def fast_mode() -> bool:
@@ -77,6 +78,59 @@ class ExperimentReport:
         return "\n".join(lines)
 
 
+# -- per-round congestion histograms ------------------------------------------
+
+
+def congestion_histogram(
+    bits_per_round: Sequence[int], buckets: int = 6
+) -> List[Dict[str, int]]:
+    """Equal-width histogram of a ``bits_per_round`` series.
+
+    Buckets cover ``[min, max]`` of the series; each entry reports the
+    inclusive bit range and how many executed rounds fell into it.  Empty
+    trailing buckets are trimmed so sparse series stay readable.  The
+    bucket counts always sum to ``len(bits_per_round)``.
+    """
+    if buckets < 1:
+        raise ValueError(f"need at least one bucket, got {buckets}")
+    series = [int(b) for b in bits_per_round]
+    if not series:
+        return []
+    lo, hi = min(series), max(series)
+    width = max(1, -(-(hi - lo + 1) // buckets))  # ceil division
+    counts = [0] * buckets
+    for bits in series:
+        counts[min((bits - lo) // width, buckets - 1)] += 1
+    rows = [
+        {
+            "lo": lo + i * width,
+            "hi": min(lo + (i + 1) * width - 1, hi),
+            "rounds": count,
+        }
+        for i, count in enumerate(counts)
+    ]
+    while rows and rows[-1]["rounds"] == 0:
+        rows.pop()
+    return rows
+
+
+def render_congestion(
+    bits_per_round: Sequence[int], buckets: int = 4
+) -> str:
+    """Compact one-cell rendering of :func:`congestion_histogram`.
+
+    ``"0-99:3 100-199:7"`` means 3 rounds put 0..99 bits on the wire and
+    7 rounds put 100..199.  Zero-count buckets are omitted.
+    """
+    rows = congestion_histogram(bits_per_round, buckets=buckets)
+    parts = [
+        f"{row['lo']}-{row['hi']}:{row['rounds']}"
+        for row in rows
+        if row["rounds"]
+    ]
+    return " ".join(parts) if parts else "-"
+
+
 # -- engine comparison grid ---------------------------------------------------
 
 
@@ -96,7 +150,7 @@ def engine_grid_cells(fast: bool | None = None, seed: int = 7):
     return expand_grid(
         families=ENGINE_GRID_FAMILIES,
         sizes=sizes,
-        engines=("reference", "fast"),
+        engines=ENGINE_GRID_ENGINES,
         seed=seed,
     )
 

@@ -15,10 +15,16 @@ Design points:
   order).
 * **Structured failures.** A cell that raises — bad family, simulation
   limit, oversized message — produces an ``ok=False`` record with the
-  exception type and message instead of tearing down the whole grid.
-* **Process workers.** Cells are independent (no shared state), so
-  ``multiprocessing.Pool`` gives real CPU parallelism; cells and results
-  are plain picklable dicts/dataclasses.
+  exception type and message instead of tearing down the whole grid;
+  malformed grid *axes* (unknown program or engine names) raise structured
+  :class:`~repro.errors.UnknownProgramError` /
+  :class:`~repro.errors.UnknownEngineError` at expansion time instead.
+* **Generate once, share everywhere.** All cells of one (family, n, seed)
+  work item run on the same topology.  Sequentially the Network object is
+  reused directly; across process workers the parent generates each graph
+  once and ships its CSR arrays through ``multiprocessing.shared_memory``
+  (:mod:`repro.experiments.sharedmem`), so workers skip graph generation
+  entirely and nothing big travels through the pool queue.
 """
 
 from __future__ import annotations
@@ -27,9 +33,7 @@ import json
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
-
-import networkx as nx
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.congest.engine import available_engines
 from repro.congest.network import Network
@@ -39,6 +43,7 @@ from repro.congest.programs import (
     run_distributed_greedy,
 )
 from repro.congest.simulator import SimulationResult
+from repro.errors import UnknownEngineError, UnknownProgramError
 from repro.graphs.suite import suite_instance
 
 __all__ = [
@@ -67,22 +72,29 @@ class GridCell:
     def key(self) -> str:
         return f"{self.family}-{self.n}/{self.program}/{self.engine}/s{self.seed}"
 
-
-def _drive_bfs(graph: nx.Graph, network: Network, engine: str) -> SimulationResult:
-    return run_bfs_forest(graph, roots=[0], network=network, engine=engine)[-1]
-
-
-def _drive_greedy(graph: nx.Graph, network: Network, engine: str) -> SimulationResult:
-    return run_distributed_greedy(graph, network=network, engine=engine)[-1]
+    @property
+    def topology_key(self) -> Tuple[str, int, int]:
+        """Cells sharing this key run on the identical generated graph."""
+        return (self.family, self.n, self.seed)
 
 
-def _drive_color(graph: nx.Graph, network: Network, engine: str) -> SimulationResult:
-    return run_color_reduction(graph, network=network, engine=engine)[-1]
+def _drive_bfs(network: Network, engine: str) -> SimulationResult:
+    return run_bfs_forest(None, roots=[0], network=network, engine=engine)[-1]
+
+
+def _drive_greedy(network: Network, engine: str) -> SimulationResult:
+    return run_distributed_greedy(None, network=network, engine=engine)[-1]
+
+
+def _drive_color(network: Network, engine: str) -> SimulationResult:
+    return run_color_reduction(None, network=network, engine=engine)[-1]
 
 
 #: Named node-program drivers a cell can select.  Each takes
-#: ``(graph, network, engine)`` and returns the :class:`SimulationResult`.
-_PROGRAMS: Dict[str, Callable[[nx.Graph, Network, str], SimulationResult]] = {
+#: ``(network, engine)`` and returns the :class:`SimulationResult` —
+#: network-only signatures so shared-memory reconstructions plug in
+#: without a ``networkx`` graph.
+_PROGRAMS: Dict[str, Callable[[Network, str], SimulationResult]] = {
     "bfs": _drive_bfs,
     "greedy": _drive_greedy,
     "color-reduction": _drive_color,
@@ -101,9 +113,20 @@ def expand_grid(
     engines: Sequence[str] | None = None,
     seed: int = 7,
 ) -> List[GridCell]:
-    """Cartesian expansion of the grid axes into concrete cells."""
+    """Cartesian expansion of the grid axes into concrete cells.
+
+    Unknown program or engine names fail fast with a structured error —
+    one bad axis value would otherwise poison every cell it touches.
+    """
     programs = list(programs) if programs is not None else available_programs()
     engines = list(engines) if engines is not None else available_engines()
+    for program in programs:
+        if program not in _PROGRAMS:
+            raise UnknownProgramError(program, available_programs())
+    registered = set(available_engines())
+    for engine in engines:
+        if engine not in registered:
+            raise UnknownEngineError(engine, available_engines())
     return [
         GridCell(family=f, n=n, program=p, engine=e, seed=seed)
         for f in families
@@ -113,19 +136,29 @@ def expand_grid(
     ]
 
 
-def run_cell(cell: GridCell) -> Dict[str, object]:
-    """Execute one cell; never raises — failures become structured records."""
+def build_network(cell: GridCell) -> Network:
+    """Generate the cell's graph and compile it into a CONGEST network."""
+    inst = suite_instance(cell.family, cell.n, seed=cell.seed)
+    return Network.congest(inst.graph)
+
+
+def run_cell(
+    cell: GridCell, network: Optional[Network] = None
+) -> Dict[str, object]:
+    """Execute one cell; never raises — failures become structured records.
+
+    ``network`` short-circuits graph generation when the caller already
+    holds the cell's topology (sequential reuse or a shared-memory
+    reconstruction); the timed section covers simulation only either way.
+    """
     record: Dict[str, object] = {"cell": asdict(cell), "key": cell.key}
     try:
         if cell.program not in _PROGRAMS:
-            raise KeyError(
-                f"unknown program {cell.program!r}; "
-                f"available: {', '.join(available_programs())}"
-            )
-        inst = suite_instance(cell.family, cell.n, seed=cell.seed)
-        network = Network.congest(inst.graph)
+            raise UnknownProgramError(cell.program, available_programs())
+        if network is None:
+            network = build_network(cell)
         start = time.perf_counter()
-        sim = _PROGRAMS[cell.program](inst.graph, network, cell.engine)
+        sim = _PROGRAMS[cell.program](network, cell.engine)
         wall = time.perf_counter() - start
     except Exception as exc:  # noqa: BLE001 - the grid must survive any cell
         record["ok"] = False
@@ -134,7 +167,7 @@ def run_cell(cell: GridCell) -> Dict[str, object]:
     record["ok"] = True
     record["wall_s"] = wall
     record["metrics"] = {
-        "n": inst.n,
+        "n": network.n,
         "rounds": sim.rounds,
         "total_messages": sim.total_messages,
         "total_bits": sim.total_bits,
@@ -144,21 +177,66 @@ def run_cell(cell: GridCell) -> Dict[str, object]:
     return record
 
 
+def _run_cell_task(task) -> Dict[str, object]:
+    """Pool worker: attach the published topology (if any) and run."""
+    cell, handle = task
+    if handle is None:
+        return run_cell(cell)
+    from repro.experiments.sharedmem import attach_network
+
+    try:
+        network = attach_network(handle)
+    except Exception:  # pragma: no cover - attach races are host-specific
+        network = None  # fall back to regenerating in the worker
+    return run_cell(cell, network=network)
+
+
 def run_grid(
     cells: Iterable[GridCell], jobs: int = 1
 ) -> List[Dict[str, object]]:
     """Run every cell, optionally across ``jobs`` worker processes.
 
     Results come back in cell order either way; ``jobs <= 1`` runs inline
-    (deterministic and debugger-friendly).
+    (deterministic and debugger-friendly).  In both modes each unique
+    (family, n, seed) topology is generated exactly once — reused
+    in-process sequentially, published through shared memory to workers.
     """
     cells = list(cells)
     if jobs <= 1 or len(cells) <= 1:
-        return [run_cell(cell) for cell in cells]
+        networks: Dict[tuple, Optional[Network]] = {}
+        results = []
+        for cell in cells:
+            key = cell.topology_key
+            if key not in networks:
+                try:
+                    networks[key] = build_network(cell)
+                except Exception:  # noqa: BLE001 - recorded per cell below
+                    networks[key] = None
+            results.append(run_cell(cell, network=networks[key]))
+        return results
+
     import multiprocessing
 
-    with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
-        return pool.map(run_cell, cells)
+    from repro.experiments.sharedmem import SharedTopology
+
+    published: Dict[tuple, SharedTopology] = {}
+    tasks = []
+    try:
+        for cell in cells:
+            key = cell.topology_key
+            if key not in published:
+                try:
+                    published[key] = SharedTopology.publish(build_network(cell))
+                except Exception:  # noqa: BLE001 - cell records the failure
+                    published[key] = None  # type: ignore[assignment]
+            topology = published[key]
+            tasks.append((cell, topology.handle if topology else None))
+        with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
+            return pool.map(_run_cell_task, tasks)
+    finally:
+        for topology in published.values():
+            if topology is not None:
+                topology.unlink()
 
 
 def summarize_results(results: Sequence[Mapping[str, object]]) -> Dict[str, object]:

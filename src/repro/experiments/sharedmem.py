@@ -1,0 +1,122 @@
+"""Shared-memory topology transport for the batch runner.
+
+A grid run executes many (program × engine) cells on the *same* graph.
+Re-generating the graph in every worker process is the dominant fixed cost
+for large instances — generator plus normalization plus CSR compilation —
+and pickling a ``networkx`` graph through the pool queue is no cheaper.
+Instead the parent process generates each unique topology **once**,
+publishes its flat CSR arrays (``indptr``, ``indices``) into
+``multiprocessing.shared_memory`` blocks, and ships only the block *names*
+to the workers.  A worker re-attaches by name and reconstructs an
+equivalent :class:`~repro.congest.network.Network` via
+:meth:`Network.from_csr` — no graph generation, no big pickles.
+
+Lifecycle: the parent owns the blocks (:meth:`SharedTopology.publish` …
+:meth:`SharedTopology.unlink`); workers attach, copy the few hundred
+kilobytes of CSR data into process-local arrays, and detach immediately
+(:func:`attach_network`), so no cross-process lifetime coordination is
+needed beyond "the parent unlinks after the pool is done".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.congest.network import Network
+
+__all__ = ["SharedTopologyHandle", "SharedTopology", "attach_network"]
+
+_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class SharedTopologyHandle:
+    """Picklable descriptor of one published topology."""
+
+    indptr_name: str
+    indices_name: str
+    n: int
+    nnz: int
+    bit_budget: Optional[int]
+
+
+class SharedTopology:
+    """Parent-side owner of one topology's shared CSR blocks."""
+
+    def __init__(
+        self,
+        indptr_shm: shared_memory.SharedMemory,
+        indices_shm: shared_memory.SharedMemory,
+        handle: SharedTopologyHandle,
+    ):
+        self._indptr_shm = indptr_shm
+        self._indices_shm = indices_shm
+        self.handle = handle
+
+    @classmethod
+    def publish(cls, network: Network) -> "SharedTopology":
+        """Copy ``network``'s CSR arrays into fresh shared-memory blocks."""
+        indptr, indices = network.csr()
+        indptr_arr = np.asarray(indptr, dtype=_DTYPE)
+        indices_arr = np.asarray(indices, dtype=_DTYPE)
+        indptr_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, indptr_arr.nbytes)
+        )
+        indices_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, indices_arr.nbytes)
+        )
+        np.ndarray(indptr_arr.shape, dtype=_DTYPE, buffer=indptr_shm.buf)[
+            :
+        ] = indptr_arr
+        if indices_arr.size:
+            np.ndarray(indices_arr.shape, dtype=_DTYPE, buffer=indices_shm.buf)[
+                :
+            ] = indices_arr
+        handle = SharedTopologyHandle(
+            indptr_name=indptr_shm.name,
+            indices_name=indices_shm.name,
+            n=network.n,
+            nnz=int(indices_arr.size),
+            bit_budget=network.bit_budget,
+        )
+        return cls(indptr_shm, indices_shm, handle)
+
+    def close(self) -> None:
+        """Detach the parent's mapping (blocks stay alive for workers)."""
+        self._indptr_shm.close()
+        self._indices_shm.close()
+
+    def unlink(self) -> None:
+        """Free the blocks; call exactly once, after every worker is done."""
+        self.close()
+        self._indptr_shm.unlink()
+        self._indices_shm.unlink()
+
+
+def attach_network(handle: SharedTopologyHandle) -> Network:
+    """Worker-side reconstruction of a published topology.
+
+    Copies the CSR data out of the shared blocks (so the returned network's
+    lifetime is independent of the blocks) and detaches immediately.
+    """
+    indptr_shm = shared_memory.SharedMemory(name=handle.indptr_name)
+    indices_shm = shared_memory.SharedMemory(name=handle.indices_name)
+    try:
+        indptr = np.ndarray(
+            (handle.n + 1,), dtype=_DTYPE, buffer=indptr_shm.buf
+        ).copy()
+        indices = np.ndarray(
+            (handle.nnz,), dtype=_DTYPE, buffer=indices_shm.buf
+        ).copy()
+    finally:
+        # Workers only close their mapping; the blocks stay registered with
+        # the (pool-shared) resource tracker until the parent unlinks them.
+        # Attaching re-registers the same name, but the tracker's cache is a
+        # set, so the parent's single unlink still balances the books.
+        indptr_shm.close()
+        indices_shm.close()
+    return Network.from_csr(indptr, indices, bit_budget=handle.bit_budget)

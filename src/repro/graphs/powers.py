@@ -16,7 +16,9 @@ import networkx as nx
 from repro.errors import GraphError
 
 
-def ball(graph: nx.Graph, center: int, radius: int, within: Set[int] | None = None) -> Dict[int, int]:
+def ball(
+    graph: nx.Graph, center: int, radius: int, within: Set[int] | None = None
+) -> Dict[int, int]:
     """BFS ball: map node -> distance for all nodes within ``radius`` of
     ``center``; optionally restricted to the induced subgraph on ``within``.
     """

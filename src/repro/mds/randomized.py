@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict
 
 import networkx as nx
 

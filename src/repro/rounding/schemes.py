@@ -12,7 +12,7 @@ fractionality ``1/r -> 2/r`` while inflating the size by roughly ``(1+eps)``.
 from __future__ import annotations
 
 import math
-from typing import Callable, Mapping
+from typing import Callable
 
 from repro.domsets.covering import CoveringInstance
 from repro.errors import InfeasibleSolutionError

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import Set
 
 from repro.congest.cost import CostLedger
 from repro.coloring.distance2 import bipartite_distance2_coloring

@@ -32,8 +32,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set, Tuple
 
 import networkx as nx
 

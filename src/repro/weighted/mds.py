@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Set
+from typing import Mapping, Set
 
 import networkx as nx
 

@@ -29,7 +29,6 @@ from repro.congest.cost import (
     ruling_set_rounds,
 )
 from repro.errors import InfeasibleSolutionError
-from repro.graphs.normalize import normalize_graph
 
 
 class TestVerify:

@@ -5,7 +5,6 @@ from __future__ import annotations
 import copy
 import json
 
-import pytest
 
 from repro.experiments.harness import engine_grid_cells, engine_grid_report
 from repro.experiments.runner import (
@@ -82,12 +81,14 @@ class TestRunCell:
     def test_unknown_program_is_structured_error(self):
         rec = run_cell(GridCell(family="tree", n=16, program="boom", engine="fast"))
         assert rec["ok"] is False
-        assert rec["error"]["type"] == "KeyError"
+        assert rec["error"]["type"] == "UnknownProgramError"
+        assert "boom" in rec["error"]["message"]
 
     def test_unknown_engine_is_structured_error(self):
         rec = run_cell(GridCell(family="tree", n=16, program="bfs", engine="warp"))
         assert rec["ok"] is False
-        assert rec["error"]["type"] == "CongestError"
+        assert rec["error"]["type"] == "UnknownEngineError"
+        assert "warp" in rec["error"]["message"]
 
 
 class TestRunGrid:
@@ -173,5 +174,5 @@ class TestEngineGridReport:
 
     def test_shared_cells_definition(self):
         cells = engine_grid_cells(fast=True)
-        assert all(c.engine in ("reference", "fast") for c in cells)
-        assert len({(c.family, c.n, c.program) for c in cells}) * 2 == len(cells)
+        assert all(c.engine in ("reference", "fast", "vector") for c in cells)
+        assert len({(c.family, c.n, c.program) for c in cells}) * 3 == len(cells)

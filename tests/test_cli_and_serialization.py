@@ -6,7 +6,6 @@ import pytest
 
 from repro.__main__ import build_parser, main
 from repro.cds.pipeline import approx_cds
-from repro.graphs.generators import gnp_graph
 from repro.mds.deterministic import approx_mds_coloring
 
 

@@ -18,7 +18,7 @@ from repro.coloring.linial import linial_coloring, linial_one_round
 from repro.coloring.reduction import reduce_coloring
 from repro.domsets.covering import CoveringInstance
 from repro.errors import ColoringError
-from repro.graphs.generators import gnp_graph, regular_graph
+from repro.graphs.generators import regular_graph
 from repro.graphs.normalize import normalize_graph
 
 

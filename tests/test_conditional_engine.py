@@ -12,7 +12,7 @@ from repro.derand.estimators import EstimatorConfig
 from repro.domsets.cfds import CFDS
 from repro.domsets.covering import CoveringInstance
 from repro.errors import DerandomizationError
-from repro.graphs.generators import gnp_graph, regular_graph
+from repro.graphs.generators import regular_graph
 from repro.graphs.normalize import normalize_graph
 from repro.rounding.abstract import execute_rounding
 from repro.rounding.coins import independent_coins

@@ -1,7 +1,6 @@
 """Distributed greedy MDS, distributed color reduction, and the LOCAL-model
 pipeline (Corollary 1.3)."""
 
-import networkx as nx
 import pytest
 
 from repro.analysis.verify import is_dominating_set
@@ -10,9 +9,7 @@ from repro.coloring.greedy import validate_coloring
 from repro.congest.network import Network
 from repro.congest.programs.color_reduction import run_color_reduction
 from repro.congest.programs.greedy_mds import run_distributed_greedy
-from repro.domsets.covering import CoveringInstance
-from repro.graphs.generators import gnp_graph, regular_graph, star_graph
-from repro.graphs.normalize import normalize_graph
+from repro.graphs.generators import regular_graph, star_graph
 from repro.mds.local_model import approx_mds_local, corollary13_round_formula
 from repro.mds.deterministic import approx_mds_coloring
 

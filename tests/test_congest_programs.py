@@ -3,11 +3,9 @@
 import networkx as nx
 import pytest
 
-from repro.congest.network import Network
 from repro.congest.programs.aggregate import run_tree_sum
 from repro.congest.programs.bfs import run_bfs_forest
 from repro.congest.programs.rounding_exec import run_rounding_execution
-from repro.graphs.generators import gnp_graph, random_tree
 from repro.graphs.normalize import normalize_graph
 from repro.util.transmittable import TransmittableGrid
 
@@ -98,7 +96,9 @@ class TestRoundingExecution:
     def test_covered_keep_values(self, small_gnp):
         grid = TransmittableGrid.for_n(30)
         values = {v: 1.0 for v in small_gnp.nodes()}
-        final, _ = run_rounding_execution(small_gnp, values, {v: 1.0 for v in small_gnp.nodes()}, grid=grid)
+        final, _ = run_rounding_execution(
+            small_gnp, values, {v: 1.0 for v in small_gnp.nodes()}, grid=grid
+        )
         assert final == values
 
     def test_fractional_coverage(self):

@@ -1,0 +1,92 @@
+"""Per-round congestion histograms surfaced by the E10 harness report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.message import message_bits
+from repro.congest.programs.greedy_mds import run_distributed_greedy
+from repro.congest.programs.rounding_exec import run_rounding_execution
+from repro.experiments import e10_congest
+from repro.experiments.harness import congestion_histogram, render_congestion
+from repro.graphs.generators import star_graph
+
+
+class TestHistogramMath:
+    def test_known_series(self):
+        rows = congestion_histogram([100, 150, 260, 399], buckets=3)
+        assert [r["rounds"] for r in rows] == [2, 1, 1]
+        assert rows[0] == {"lo": 100, "hi": 199, "rounds": 2}
+        assert rows[-1]["hi"] == 399
+
+    def test_counts_sum_to_rounds(self):
+        series = [7, 7, 7, 9000, 12, 4000, 4001]
+        rows = congestion_histogram(series, buckets=4)
+        assert sum(r["rounds"] for r in rows) == len(series)
+
+    def test_single_round_series(self):
+        assert congestion_histogram([42]) == [{"lo": 42, "hi": 42, "rounds": 1}]
+
+    def test_empty_series(self):
+        assert congestion_histogram([]) == []
+        assert render_congestion([]) == "-"
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            congestion_histogram([1, 2], buckets=0)
+
+    def test_render_omits_empty_buckets(self):
+        text = render_congestion([10, 10, 10, 1000], buckets=4)
+        assert text.startswith("10-")
+        assert ":3" in text and ":1" in text
+        assert ":0" not in text
+
+
+class TestStarGraphCongestion:
+    """Exact congestion profile on a known topology.
+
+    On a star, phase two of the rounding execution is a single broadcast
+    round: the hub and every spoke announce a ``val`` message, putting one
+    message per directed edge — ``2 * #edges`` — on the wire.  With all
+    phase-one values at zero, every message is exactly
+    ``message_bits((0,))`` bits, so the round's total — and therefore the
+    whole histogram — is known in closed form.
+    """
+
+    N = 10
+
+    def test_rounding_exec_profile_is_exact(self):
+        graph = star_graph(self.N)
+        zeros = {v: 0.0 for v in graph.nodes()}
+        _, sim = run_rounding_execution(graph, zeros, {v: 1.0 for v in graph.nodes()})
+        expected_round_bits = 2 * graph.number_of_edges() * message_bits((0,))
+        assert sim.bits_per_round == [expected_round_bits]
+        assert congestion_histogram(sim.bits_per_round) == [
+            {"lo": expected_round_bits, "hi": expected_round_bits, "rounds": 1}
+        ]
+        assert render_congestion(sim.bits_per_round) == (
+            f"{expected_round_bits}-{expected_round_bits}:1"
+        )
+
+    def test_greedy_histogram_covers_all_rounds(self):
+        graph = star_graph(self.N)
+        _, sim = run_distributed_greedy(graph)
+        rows = congestion_histogram(sim.bits_per_round)
+        assert sum(r["rounds"] for r in rows) == sim.rounds
+        assert rows[0]["lo"] == min(sim.bits_per_round)
+        assert rows[-1]["hi"] == max(sim.bits_per_round)
+
+
+def test_e10_report_surfaces_congestion_column():
+    report = e10_congest.run(fast=True)
+    assert "congestion" in report.columns
+    assert report.rows
+    for row in report.rows:
+        cell = row["congestion"]
+        assert isinstance(cell, str) and cell
+        # every populated bucket renders as lo-hi:rounds
+        for part in cell.split():
+            span, _, count = part.rpartition(":")
+            assert int(count) >= 1
+            lo, _, hi = span.partition("-")
+            assert int(lo) <= int(hi)

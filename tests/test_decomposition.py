@@ -8,7 +8,6 @@ import pytest
 from repro.decomposition.ball_carving import (
     carve_clusters,
     carve_decomposition,
-    color_clusters,
 )
 from repro.decomposition.cluster_graph import (
     Cluster,

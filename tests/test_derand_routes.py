@@ -21,7 +21,7 @@ from repro.domsets.cfds import CFDS, fractionality_of
 from repro.domsets.covering import CoveringInstance
 from repro.errors import DerandomizationError
 from repro.fractional.raising import kmw06_initial_fds
-from repro.graphs.generators import gnp_graph, regular_graph
+from repro.graphs.generators import gnp_graph
 from repro.rounding.schemes import factor_two_scheme
 
 

@@ -1,10 +1,12 @@
-"""Engine parity: ReferenceEngine and FastEngine must be indistinguishable.
+"""Engine parity: all registered engines must be indistinguishable.
 
-Every bundled node program is driven over the graph zoo under both engines
-and the full :class:`SimulationResult` (rounds, outputs, message/bit totals,
-per-round series) is compared field for field — the contract that makes the
-fast path a drop-in default.  Also covers engine selection/registry plumbing
-and the CSR topology arrays the fast path consumes.
+Every bundled node program is driven over the graph zoo under the full
+3-way engine matrix (reference / fast / vector) and the complete
+:class:`SimulationResult` (rounds, outputs, message/bit totals, per-round
+series) is compared field for field — the contract that makes the fast
+path a drop-in default and the numpy message plane a drop-in opt-in.
+Also covers engine selection/registry plumbing and the CSR topology arrays
+the fast path consumes.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.congest.engine import (
     Engine,
     FastEngine,
     ReferenceEngine,
+    VectorEngine,
     available_engines,
     default_engine_name,
     resolve_engine,
@@ -97,24 +100,53 @@ DRIVERS = {
     "lemma310": _drive_lemma310,
 }
 
+#: The full engine matrix; every non-reference engine is compared against
+#: the reference run field for field.
+ENGINES = ("reference", "fast", "vector")
 
+#: Programs the vector engine executes on its numpy message plane (the
+#: rest fall back to FastEngine semantics inside VectorEngine).
+VECTOR_ELIGIBLE = ("greedy-mds", "color-reduction", "rounding-exec", "lemma310")
+
+
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "reference"])
 @pytest.mark.parametrize("program", sorted(DRIVERS))
-def test_engine_parity_full_suite(zoo_graph, program):
+def test_engine_parity_full_suite(zoo_graph, program, engine):
     ref = DRIVERS[program](zoo_graph, "reference")
-    fast = DRIVERS[program](zoo_graph, "fast")
+    other = DRIVERS[program](zoo_graph, engine)
     # Dataclass equality covers every field; spell out the load-bearing ones
     # so a failure names the diverging metric.
-    assert ref.rounds == fast.rounds
-    assert ref.outputs == fast.outputs
-    assert ref.total_messages == fast.total_messages
-    assert ref.total_bits == fast.total_bits
-    assert ref.max_message_bits == fast.max_message_bits
-    assert ref.messages_per_round == fast.messages_per_round
-    assert ref.bits_per_round == fast.bits_per_round
-    assert ref == fast
+    assert ref.rounds == other.rounds
+    assert ref.outputs == other.outputs
+    assert ref.total_messages == other.total_messages
+    assert ref.total_bits == other.total_bits
+    assert ref.max_message_bits == other.max_message_bits
+    assert ref.messages_per_round == other.messages_per_round
+    assert ref.bits_per_round == other.bits_per_round
+    assert ref == other
 
 
-@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("program", sorted(VECTOR_ELIGIBLE))
+def test_vector_eligible_programs_declare_specs(program):
+    """The vector-path programs opt in via non-empty ``message_specs``."""
+    from repro.congest.engine import kernel_for
+    from repro.congest.programs.color_reduction import ColorReductionProgram
+    from repro.congest.programs.greedy_mds import DistributedGreedyProgram
+    from repro.congest.programs.lemma310 import Lemma310Program
+    from repro.congest.programs.rounding_exec import RoundingExecutionProgram
+
+    classes = {
+        "greedy-mds": DistributedGreedyProgram,
+        "color-reduction": ColorReductionProgram,
+        "rounding-exec": RoundingExecutionProgram,
+        "lemma310": Lemma310Program,
+    }
+    cls = classes[program]
+    assert cls.message_specs, f"{cls.__name__} must declare MessageSpecs"
+    assert kernel_for(cls) is not None
+
+
+@pytest.mark.parametrize("engine", ENGINES)
 def test_malformed_forest_fails_identically(engine):
     """A parent cycle never terminates: both engines raise the limit error.
 
@@ -129,23 +161,25 @@ def test_malformed_forest_fails_identically(engine):
         run_tree_sum(g, {0: 1, 1: 0}, {0: (1,), 1: (1,)}, engine=engine)
 
 
-@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_per_round_series_consistency(zoo_graph, engine):
-    result = _drive_bfs(zoo_graph, engine)
-    assert len(result.messages_per_round) == result.rounds
-    assert len(result.bits_per_round) == result.rounds
-    assert sum(result.messages_per_round) == result.total_messages
-    assert sum(result.bits_per_round) == result.total_bits
-    assert all(isinstance(b, int) for b in result.bits_per_round)
+    for driver in (_drive_bfs, _drive_greedy):
+        result = driver(zoo_graph, engine)
+        assert len(result.messages_per_round) == result.rounds
+        assert len(result.bits_per_round) == result.rounds
+        assert sum(result.messages_per_round) == result.total_messages
+        assert sum(result.bits_per_round) == result.total_bits
+        assert all(isinstance(b, int) for b in result.bits_per_round)
 
 
 class TestEngineSelection:
     def test_available(self):
-        assert {"reference", "fast"} <= set(available_engines())
+        assert {"reference", "fast", "vector"} <= set(available_engines())
 
     def test_resolve_by_name_instance_class(self):
         assert isinstance(resolve_engine("reference"), ReferenceEngine)
         assert isinstance(resolve_engine(FastEngine), FastEngine)
+        assert isinstance(resolve_engine("vector"), VectorEngine)
         inst = FastEngine()
         assert resolve_engine(inst) is inst
 

@@ -1,7 +1,5 @@
 """Pessimistic estimators: exactness, domination, supermartingale property."""
 
-import itertools
-import math
 import random
 
 import pytest

@@ -13,7 +13,7 @@ from repro.fractional.raising import (
     raise_fractionality,
     repair_feasibility,
 )
-from repro.graphs.generators import clique_graph, gnp_graph, star_graph
+from repro.graphs.generators import clique_graph, star_graph
 from repro.graphs.normalize import normalize_graph
 
 
@@ -113,7 +113,9 @@ class TestLemma21Contract:
         assert initial.fds.fractionality >= eps / (2 * delta_tilde) - 1e-12
         # Raising cost: at most n * lambda above the provider's size.
         lam = eps / (2 * delta_tilde)
-        assert initial.raised_size <= initial.provider_size + medium_gnp.number_of_nodes() * lam + 1e-6
+        assert initial.raised_size <= (
+            initial.provider_size + medium_gnp.number_of_nodes() * lam + 1e-6
+        )
 
     def test_lp_provider_charges_rounds(self, small_gnp):
         initial = kmw06_initial_fds(small_gnp, eps=0.5, provider="lp")

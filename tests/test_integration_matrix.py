@@ -1,7 +1,6 @@
 """Cross-product integration matrix: every algorithm on every zoo graph,
 with exact optima as ground truth wherever tractable."""
 
-import math
 
 import networkx as nx
 import pytest

@@ -6,7 +6,6 @@ centralized conditional-expectation engine, round for round, under the
 CONGEST bit budget.
 """
 
-import networkx as nx
 import pytest
 
 from repro.analysis.verify import is_dominating_set

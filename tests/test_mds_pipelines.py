@@ -6,7 +6,6 @@ from repro.analysis.bounds import theorem11_approximation_bound
 from repro.analysis.verify import is_dominating_set
 from repro.errors import GraphError
 from repro.fractional.lp import lp_fractional_mds
-from repro.graphs.generators import gnp_graph
 from repro.mds.deterministic import approx_mds_coloring, approx_mds_decomposition
 from repro.mds.pipeline import PipelineParams
 from repro.mds.randomized import approx_mds_randomized

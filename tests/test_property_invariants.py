@@ -1,9 +1,7 @@
 """Hypothesis property tests on the library's core invariants."""
 
-import math
 import random
 
-import networkx as nx
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis.verify import is_dominating_set

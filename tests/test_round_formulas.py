@@ -1,7 +1,6 @@
 """Round-complexity formula helpers and ledger-charging paths."""
 
 import networkx as nx
-import pytest
 
 from repro.congest.programs.aggregate import run_tree_sum
 from repro.decomposition.ball_carving import carve_decomposition
@@ -13,7 +12,6 @@ from repro.derand.decomposition_based import (
 from repro.congest.cost import CostLedger
 from repro.domsets.covering import CoveringInstance
 from repro.fractional.raising import kmw06_initial_fds
-from repro.graphs.generators import gnp_graph
 from repro.graphs.normalize import normalize_graph
 from repro.rounding.schemes import one_shot_scheme
 

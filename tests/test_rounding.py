@@ -10,7 +10,7 @@ import pytest
 from repro.domsets.cfds import CFDS
 from repro.domsets.covering import CoveringInstance
 from repro.errors import InfeasibleSolutionError, RandomnessError
-from repro.graphs.generators import gnp_graph, regular_graph
+from repro.graphs.generators import regular_graph
 from repro.graphs.normalize import normalize_graph
 from repro.rounding.abstract import (
     RoundingScheme,

@@ -8,7 +8,6 @@ from repro.analysis.verify import is_dominating_set
 from repro.decomposition.ball_carving import carve_decomposition
 from repro.derand.estimators import ConstraintEstimator, EstimatorConfig
 from repro.derand.seed_level import SeedLevelDerandomizer
-from repro.domsets.cfds import CFDS
 from repro.domsets.covering import CoveringInstance
 from repro.errors import DerandomizationError
 from repro.fractional.raising import kmw06_initial_fds

@@ -8,8 +8,7 @@ import pytest
 
 from repro.analysis.verify import is_dominating_set
 from repro.errors import GraphError, InfeasibleSolutionError
-from repro.graphs.generators import gnp_graph, star_graph
-from repro.graphs.normalize import normalize_graph
+from repro.graphs.generators import star_graph
 from repro.setcover.instance import SetCoverInstance, random_setcover_instance
 from repro.setcover.solve import approx_min_set_cover, greedy_set_cover
 from repro.weighted.mds import approx_weighted_mds, greedy_weighted_mds
