@@ -1,0 +1,92 @@
+"""Check that intra-repo markdown links and anchors resolve.
+
+Scans the repo's markdown documentation (``README.md``, ``docs/*.md``,
+``ROADMAP.md``, ``CHANGES.md``) for ``[text](target)`` links and verifies:
+
+* relative file targets exist (relative to the linking file);
+* ``#anchor`` fragments — on the same file or a linked markdown file —
+  match a heading's GitHub-style slug in the target document.
+
+External links (``http(s)://``, ``mailto:``) are not fetched.  Exit code
+is the number of broken links; CI's docs job runs this as a gate, and
+``tests/test_docs.py`` runs it in tier-1 so broken links fail locally
+first.
+
+Usage:
+    python scripts/check_docs_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — excluding images; tolerates titles after the URL.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+DOC_GLOBS = ("README.md", "ROADMAP.md", "CHANGES.md", "docs/*.md")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return re.sub(r" ", "-", text)
+
+
+def anchors_of(path: Path) -> set:
+    content = path.read_text(encoding="utf-8")
+    return {github_slug(h) for h in HEADING_RE.findall(content)}
+
+
+def doc_files(root: Path) -> list:
+    files: list = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return files
+
+
+def check(root: Path) -> list:
+    """Return a list of human-readable broken-link descriptions."""
+    broken = []
+    for doc in doc_files(root):
+        content = doc.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(content):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    broken.append(f"{doc}: missing file {target!r}")
+                    continue
+            else:
+                resolved = doc
+            if fragment:
+                if resolved.suffix.lower() != ".md" or not resolved.is_file():
+                    continue  # anchors into non-markdown targets: skip
+                if fragment.lower() not in anchors_of(resolved):
+                    broken.append(
+                        f"{doc}: anchor #{fragment} not found in {resolved.name}"
+                    )
+    return broken
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    broken = check(root)
+    for line in broken:
+        print(f"BROKEN  {line}")
+    checked = len(doc_files(root))
+    print(f"checked {checked} markdown files: {len(broken)} broken links")
+    # Exit status, not a count: raw counts wrap modulo 256 (256 broken
+    # links would exit 0 and green-light the CI gate).
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,15 @@ Commands
 ``cds``     run the Theorem 1.4 connected-dominating-set pipeline
 ``suite``   list the benchmark suite instances
 ``bench``   run one experiment (E1..E12) and print its table
-``grid``    run a (graph x program x engine) batch grid across workers
+``grid``    run a (graph x program x engine x seed) batch grid across workers
 
 ``mds``, ``cds``, ``bench`` and ``grid`` accept ``--engine`` to pick the
 simulation engine (``fast`` flat-array default, ``reference`` baseline,
 ``vector`` numpy message plane); ``grid`` additionally takes ``--jobs``
-for shared-memory multiprocessing workers.
+for shared-memory multiprocessing workers, ``--seeds`` for seed-ensemble
+sweeps and ``--strategy batch`` to execute those sweeps as stacked
+multi-instance message planes (``--batch-size`` caps the stack width,
+``--quick`` runs a small self-contained batched smoke grid).
 
 Examples
 --------
@@ -19,6 +22,9 @@ Examples
     python -m repro cds --family gnp -n 80 --eps 0.5
     python -m repro bench E7 --engine reference
     python -m repro grid --families gnp,tree --sizes 80,160 --jobs 4
+    python -m repro grid --families gnp --sizes 60 --programs greedy \
+        --engines vector --seeds 0,1,2,3,4,5,6,7 --strategy batch
+    python -m repro grid --quick --strategy batch
 """
 
 from __future__ import annotations
@@ -161,30 +167,54 @@ def cmd_grid(args) -> int:
     from repro.experiments.harness import engine_grid_report
     from repro.experiments.runner import (
         available_programs,
+        batchable_programs,
         expand_grid,
         run_grid,
         write_results,
     )
 
-    families_list = [f for f in args.families.split(",") if f]
-    sizes = [int(s) for s in args.sizes.split(",")]
-    programs = (
-        [p for p in args.programs.split(",") if p]
-        if args.programs
-        else available_programs()
-    )
-    engines = [e for e in args.engines.split(",") if e]
+    if args.quick:
+        # A small self-contained smoke grid exercising the batched path:
+        # two families, one size, the stackable programs, a seed ensemble.
+        families_list = ["gnp", "tree"]
+        sizes = [60]
+        programs = batchable_programs()
+        engines = ["vector"]
+        seeds = list(range(5))
+    else:
+        families_list = [f for f in args.families.split(",") if f]
+        sizes = [int(s) for s in args.sizes.split(",")]
+        programs = (
+            [p for p in args.programs.split(",") if p]
+            if args.programs
+            else available_programs()
+        )
+        engines = [e for e in args.engines.split(",") if e]
+        seeds = (
+            [int(s) for s in args.seeds.split(",") if s]
+            if args.seeds
+            else [args.seed]
+        )
     try:
         cells = expand_grid(
-            families_list, sizes, programs=programs, engines=engines, seed=args.seed
+            families_list, sizes, programs=programs, engines=engines, seeds=seeds
+        )
+        results = run_grid(
+            cells,
+            jobs=args.jobs,
+            strategy=args.strategy,
+            batch_size=args.batch_size,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    results = run_grid(cells, jobs=args.jobs)
     report = engine_grid_report(results)
     if args.json_out:
-        write_results(args.json_out, results, meta={"jobs": args.jobs})
+        write_results(
+            args.json_out,
+            results,
+            meta={"jobs": args.jobs, "strategy": args.strategy},
+        )
         print(f"wrote {args.json_out}")
     print(report.render())
     return 0 if report.all_checks_pass else 1
@@ -226,7 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.set_defaults(func=cmd_bench)
 
     p_grid = sub.add_parser(
-        "grid", help="batch (graph x program x engine) grid via the runner"
+        "grid", help="batch (graph x program x engine x seed) grid via the runner"
     )
     p_grid.add_argument("--families", default="gnp,tree")
     p_grid.add_argument("--sizes", default="60,120")
@@ -235,6 +265,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_grid.add_argument("--engines", default="reference,fast,vector")
     p_grid.add_argument("--seed", type=int, default=7)
+    p_grid.add_argument(
+        "--seeds", default="",
+        help="comma list of seeds to sweep (default: just --seed); "
+        "the axis the batch strategy stacks",
+    )
+    p_grid.add_argument(
+        "--strategy", default="cell", choices=["cell", "batch"],
+        help="cell = one simulation per cell; batch = stack vector-engine "
+        "seed sweeps into one multi-instance message plane",
+    )
+    p_grid.add_argument(
+        "--batch-size", type=int, default=0,
+        help="max instances per stacked run (0 = one stack per group)",
+    )
+    p_grid.add_argument(
+        "--quick", action="store_true",
+        help="ignore axis flags and run the small batched smoke grid",
+    )
     p_grid.add_argument("--jobs", type=int, default=1)
     p_grid.add_argument("--json-out", default="", help="write full results JSON here")
     p_grid.set_defaults(func=cmd_grid)

@@ -18,6 +18,12 @@ Importing this package registers the bundled engines:
 Select an engine per run (``Simulator(..., engine="reference")``), process
 wide (:func:`set_default_engine`, the ``--engine`` CLI flags), or via the
 ``REPRO_ENGINE`` environment variable.  ``docs/engines.md`` has the guide.
+
+On top of the per-run engines, :func:`run_stacked`
+(:mod:`repro.congest.engine.batched`) executes K independent instances of
+one *stackable* program family as a single stacked message plane — the
+batched multi-instance mode behind the experiment runner's ``batch``
+strategy.
 """
 
 from repro.congest.engine.base import (
@@ -29,6 +35,11 @@ from repro.congest.engine.base import (
     register_engine,
     resolve_engine,
     set_default_engine,
+)
+from repro.congest.engine.batched import (
+    StackedPlane,
+    run_stacked,
+    stack_ineligibility,
 )
 from repro.congest.engine.fast import FastEngine
 from repro.congest.engine.reference import ReferenceEngine
@@ -57,7 +68,10 @@ __all__ = [
     "CsrPlane",
     "MessageSpec",
     "PendingBroadcast",
+    "StackedPlane",
     "VectorKernel",
     "kernel_for",
     "register_kernel",
+    "run_stacked",
+    "stack_ineligibility",
 ]

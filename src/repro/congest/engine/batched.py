@@ -1,0 +1,416 @@
+"""Batched multi-instance execution: K seeds as one stacked message plane.
+
+Statistical sweeps — the Theorem 1.1/1.2 style experiments — are many
+independent runs of the *same* program family over different seeded
+topologies.  Solo, each run pays the vector engine's per-round fixed cost
+(a few dozen numpy dispatches) on arrays that are tiny for suite-sized
+graphs, so a 50-seed sweep pays that overhead 50 times over.  This module
+stacks the K instances into **one** columnar message plane so each numpy
+kernel invocation advances every seed at once:
+
+* :class:`StackedPlane` — K per-instance CSR topologies concatenated
+  block-diagonally in instance-major order (instance ``k`` owns global
+  nodes ``k*n .. (k+1)*n - 1`` and the matching slice of the edge-slot
+  arrays).  Because no row ever references another instance's slots, all
+  of :class:`~repro.congest.engine.vector.CsrPlane`'s row reductions are
+  exactly the per-instance reductions, computed in one call.
+* :func:`run_stacked` — the batched run loop.  It instantiates programs
+  and contexts *per instance with local ids* (so every message field, bit
+  length and packed comparison key is identical to a solo run), performs
+  the scalar ``setup`` + handover per instance, then drives the registered
+  :class:`~repro.congest.engine.vector.VectorKernel` over the union plane
+  with **per-instance accounting**: each instance has its own round
+  counter, per-round series, wire totals and termination mask, and the
+  returned :class:`SimulationResult` list is bit-for-bit what K solo
+  ``vector``-engine runs would have produced (the parity suite in
+  ``tests/test_batched_engine.py`` enforces this across the graph zoo).
+
+Eligibility is deliberately narrow and fails loudly
+(:class:`~repro.errors.BatchEligibilityError`) so callers can fall back to
+per-cell execution:
+
+* every instance has the same node count and bit budget (seeds of one
+  (family, size) grid group satisfy this by construction);
+* the program class declares :attr:`NodeProgram.message_specs` and has a
+  registered kernel whose :attr:`VectorKernel.stackable` flag is set —
+  the kernel promises to use ``plane.local_n`` / ``plane.local_ids`` and
+  to never consult ``self.network``;
+* the kernel's ``takeover_round`` is 1 for every instance, so all
+  instances enter the plane in lockstep with no scalar prefix.  This is
+  exactly why the Lemma 3.10 program does not qualify: its takeover round
+  is ``2 + 3 * num_colors``, a per-instance quantity, and its color-class
+  rounds are targeted scalar sends that cannot share a broadcast plane.
+* the traffic queued by ``setup`` is a conforming single-tag broadcast
+  with the *same* tag across instances (a silent instance joins any tag).
+
+Instances terminate independently: a finished instance's nodes leave the
+kernel's live mask, so its portion of every later broadcast mask is empty
+— zero messages, zero bits, no leakage into the siblings' accounting —
+and its per-round series simply stops growing while the others run on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.congest.engine.base import SimulationResult
+from repro.congest.engine.vector import (
+    _NONCONFORMING,
+    CsrPlane,
+    PendingBroadcast,
+    VectorEngine,
+    _as_int64,
+    kernel_for,
+)
+from repro.congest.network import Network
+from repro.congest.node import Context, NodeProgram
+from repro.errors import (
+    BatchEligibilityError,
+    MessageTooLargeError,
+    SimulationLimitError,
+)
+
+__all__ = ["StackedPlane", "run_stacked", "stack_ineligibility"]
+
+
+class StackedPlane(CsrPlane):
+    """K same-size instance topologies as one block-diagonal CSR plane.
+
+    Instance ``k`` owns global node ids ``k * local_n .. (k+1) * local_n - 1``
+    and the slot range ``slot_offsets[k] .. slot_offsets[k+1]``.
+    ``local_ids`` maps every global node back to its per-instance id and
+    ``instance_of`` to its instance index; ``local_n`` is the (shared)
+    per-instance node count — the ``n`` every node program believes it is
+    running on.
+    """
+
+    __slots__ = ("instances", "node_offsets", "slot_offsets", "instance_of")
+
+    def __init__(self, networks: Sequence[Network]):
+        if not networks:
+            raise BatchEligibilityError("cannot stack zero instances")
+        sizes = {net.n for net in networks}
+        if len(sizes) != 1:
+            raise BatchEligibilityError(
+                f"stacked instances must share one node count, got {sorted(sizes)}"
+            )
+        local_n = networks[0].n
+        k_count = len(networks)
+        indptr_parts: List[np.ndarray] = []
+        indices_parts: List[np.ndarray] = []
+        slot_offsets = np.zeros(k_count + 1, dtype=np.int64)
+        for k, net in enumerate(networks):
+            indptr, indices = net.csr()
+            indptr = _as_int64(indptr)
+            indices = _as_int64(indices)
+            # Globalize: shift row starts by the slots already emitted and
+            # neighbor ids into instance k's node range.
+            start = indptr[1:] if k else indptr
+            indptr_parts.append(start + slot_offsets[k])
+            indices_parts.append(indices + k * local_n)
+            slot_offsets[k + 1] = slot_offsets[k] + indices.shape[0]
+        self._init_arrays(
+            np.concatenate(indptr_parts), np.concatenate(indices_parts)
+        )
+        self.instances = k_count
+        self.local_n = local_n
+        self.local_ids = np.tile(
+            np.arange(local_n, dtype=np.int64), k_count
+        )
+        self.node_offsets = np.arange(k_count + 1, dtype=np.int64) * local_n
+        self.slot_offsets = slot_offsets
+        self.instance_of = np.repeat(
+            np.arange(k_count, dtype=np.int64), local_n
+        )
+
+    def live_per_instance(self, live: np.ndarray) -> np.ndarray:
+        """Per-instance count of set flags in a global node mask."""
+        return live.reshape(self.instances, self.local_n).sum(axis=1)
+
+
+def stack_ineligibility(program_cls: type) -> Optional[str]:
+    """Why ``program_cls`` cannot run stacked, or ``None`` if it can.
+
+    This is the *static* half of eligibility (specs declared, kernel
+    registered and stackable); :func:`run_stacked` additionally verifies
+    the per-instance conditions (uniform sizes/budgets, round-1 takeover,
+    conforming handover) at run time.
+    """
+    if not getattr(program_cls, "message_specs", ()):
+        return f"{program_cls.__name__} declares no message_specs"
+    kernel_cls = kernel_for(program_cls)
+    if kernel_cls is None:
+        return f"{program_cls.__name__} has no registered vector kernel"
+    if not kernel_cls.stackable:
+        return f"{kernel_cls.__name__} is not stackable"
+    return None
+
+
+def _accumulate_round(
+    plane: StackedPlane,
+    pending: Optional[PendingBroadcast],
+    budget: Optional[int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-instance exact wire totals ``(messages, bits, max_bits)``.
+
+    The instance-wise analogue of ``VectorEngine._account``: a broadcast
+    puts ``degree`` copies of the sender's message on the wire, so the
+    per-instance counts are degree-weighted sums over that instance's
+    senders.  Raises :class:`MessageTooLargeError` for the lowest-global-id
+    over-budget sender (reported with its *local* ids, matching what the
+    corresponding solo run would raise).
+    """
+    k_count = plane.instances
+    messages = np.zeros(k_count, dtype=np.int64)
+    bits_total = np.zeros(k_count, dtype=np.int64)
+    wire_max = np.zeros(k_count, dtype=np.int64)
+    if pending is None:
+        return messages, bits_total, wire_max
+    on_wire = pending.mask & (plane.degrees > 0)
+    if not on_wire.any():
+        return messages, bits_total, wire_max
+    inst = plane.instance_of[on_wire]
+    degrees = plane.degrees[on_wire]
+    bits = pending.bits[on_wire]
+    if budget is not None and int(bits.max()) > budget:
+        sender = int(np.flatnonzero(on_wire & (pending.bits > budget))[0])
+        receiver = int(plane.indices[plane.indptr[sender]])
+        raise MessageTooLargeError(
+            int(plane.local_ids[sender]),
+            int(plane.local_ids[receiver]),
+            int(pending.bits[sender]),
+            budget,
+        )
+    # float64 bincount weights are exact here: per-round per-instance wire
+    # totals are far below 2**53 for any CONGEST-budgeted workload.
+    messages = np.bincount(inst, weights=degrees, minlength=k_count)
+    bits_total = np.bincount(
+        inst, weights=degrees * bits, minlength=k_count
+    )
+    np.maximum.at(wire_max, inst, bits)
+    return (
+        messages.astype(np.int64),
+        bits_total.astype(np.int64),
+        wire_max,
+    )
+
+
+def _stitch_handover(
+    plane: StackedPlane,
+    collected: Sequence[PendingBroadcast],
+) -> Optional[PendingBroadcast]:
+    """Combine per-instance handover traffic into one stacked broadcast."""
+    specs = {p.spec.tag: p.spec for p in collected if p.mask.any()}
+    if len(specs) > 1:
+        raise BatchEligibilityError(
+            f"instances handed over mixed tags: {sorted(specs)}"
+        )
+    spec = next(iter(specs.values())) if specs else collected[0].spec
+    mask = np.concatenate([p.mask for p in collected])
+    # A silent instance may have defaulted to a different spec; its column
+    # values are never read (empty mask), only their shape must line up.
+    per_instance_columns = [
+        p.columns
+        if p.spec.arity == spec.arity
+        else tuple(np.zeros_like(p.bits) for _ in range(spec.arity))
+        for p in collected
+    ]
+    columns = tuple(
+        np.concatenate([cols[i] for cols in per_instance_columns])
+        for i in range(spec.arity)
+    )
+    bits = np.concatenate([p.bits for p in collected])
+    return PendingBroadcast(spec, mask, columns, bits)
+
+
+def _scalar_boot(
+    plane: StackedPlane,
+    networks: Sequence[Network],
+    program_factory: type,
+    inputs: Optional[Sequence[Optional[Mapping[int, object]]]],
+    kernel_cls: type,
+):
+    """Object-level boot for kernels without a vectorized ``stacked_setup``.
+
+    Instantiates programs and contexts per instance with *local* ids (so
+    every message field and bit length matches the solo run), runs the
+    scalar round 0 (``setup``) and the handover collection instance by
+    instance — identical mechanics to ``VectorEngine``'s scalar prefix at
+    takeover round 1 — and stitches the per-instance traffic into one
+    stacked broadcast.
+    """
+    specs = program_factory.message_specs
+    collected: List[PendingBroadcast] = []
+    union_programs: Dict[int, NodeProgram] = {}
+    union_contexts: Dict[int, Context] = {}
+    local_n = plane.local_n
+    for k, net in enumerate(networks):
+        node_inputs = inputs[k] if inputs and inputs[k] else {}
+        base = k * local_n
+        contexts: Dict[int, Context] = {}
+        programs: Dict[int, NodeProgram] = {}
+        records = []
+        for v in range(net.n):
+            ctx = Context(v, net.neighbors(v), net.n)
+            prog = program_factory(node_inputs.get(v))
+            contexts[v] = ctx
+            programs[v] = prog
+            ctx.round_number = 0
+            prog.setup(ctx)
+            records.append((v, ctx, prog.receive))
+            union_programs[base + v] = prog
+            union_contexts[base + v] = ctx
+        if not kernel_cls.eligible(net, programs):
+            raise BatchEligibilityError(
+                f"{kernel_cls.__name__} declined an instance of the group"
+            )
+        if kernel_cls.takeover_round(net, programs) != 1:
+            raise BatchEligibilityError(
+                f"{kernel_cls.__name__} takes over after round 1; "
+                "stacked instances must enter the plane in lockstep"
+            )
+        pending = VectorEngine._collect_handover(records, specs, net.n)
+        if pending is _NONCONFORMING:
+            raise BatchEligibilityError(
+                "an instance queued non-conforming traffic during setup"
+            )
+        collected.append(pending)
+    # Stackable kernels never consult the network argument (there is no
+    # single network to hand them) — part of the `stackable` contract.
+    kernel = kernel_cls(plane, None, union_programs, union_contexts)
+    return kernel, _stitch_handover(plane, collected), union_contexts
+
+
+def run_stacked(
+    networks: Sequence[Network],
+    program_factory: type,
+    inputs: Optional[Sequence[Optional[Mapping[int, object]]]] = None,
+    max_rounds: int = 10_000,
+) -> List[SimulationResult]:
+    """Run one program family on K instance networks as one stacked plane.
+
+    Returns one :class:`SimulationResult` per instance, bit-for-bit equal
+    to K solo ``vector``-engine runs of the same (network, inputs) pairs.
+    Raises :class:`~repro.errors.BatchEligibilityError` when the instances
+    cannot be stacked (see the module docstring for the rules) — callers
+    such as the batch runner fall back to per-cell execution.
+    """
+    k_count = len(networks)
+    if k_count == 0:
+        raise BatchEligibilityError("cannot stack zero instances")
+    budgets = {net.bit_budget for net in networks}
+    if len(budgets) != 1:
+        raise BatchEligibilityError(
+            f"stacked instances must share one bit budget, got {sorted(map(str, budgets))}"
+        )
+    budget = networks[0].bit_budget
+    reason = stack_ineligibility(program_factory)
+    if reason is not None:
+        raise BatchEligibilityError(reason)
+    kernel_cls = kernel_for(program_factory)
+
+    plane = StackedPlane(networks)
+    local_n = plane.local_n
+    union_contexts: Optional[Dict[int, Context]] = None
+    if kernel_cls.stacked_setup is not None:
+        # Vectorized boot: no per-node program or context objects at all —
+        # the kernel initializes its planes and the round-1 broadcast
+        # directly from the instance inputs.  This is where batched sweeps
+        # stop paying O(K * n) Python object construction.
+        kernel, pending = kernel_cls.stacked_setup(
+            plane, list(inputs) if inputs else [None] * k_count
+        )
+    else:
+        kernel, pending, union_contexts = _scalar_boot(
+            plane, networks, program_factory, inputs, kernel_cls
+        )
+
+    # -- the stacked loop: VectorEngine._run_hybrid with K ledgers ----------
+    #
+    # Per-instance accounting is kept as per-round *history rows* (one
+    # int64 vector of length K per round) and folded into the K ledgers
+    # once at the end — the loop itself stays free of per-instance Python.
+    # ``finished`` is monotone, so each instance's counted rounds form a
+    # prefix of the history: exactly its solo per-round series.
+    hist_msgs: List[np.ndarray] = []
+    hist_bits: List[np.ndarray] = []
+    hist_wmax: List[np.ndarray] = []
+    #: charge[r][k]: round r's in-flight traffic hit instance k's wire
+    #: totals (solo semantics: charged even if the round never executes).
+    hist_charge: List[np.ndarray] = []
+    #: count[r][k]: instance k actually executed round r (rounds counter,
+    #: total_messages and the per-round series advance).
+    hist_count: List[np.ndarray] = []
+    finished = np.zeros(k_count, dtype=bool)
+    live_k = plane.live_per_instance(kernel.live)
+
+    rounds = 0
+    while rounds < max_rounds:
+        msgs_k, bits_k, wmax_k = _accumulate_round(plane, pending, budget)
+        hist_msgs.append(msgs_k)
+        hist_bits.append(bits_k)
+        hist_wmax.append(wmax_k)
+        hist_charge.append(~finished)
+        # Solo top-of-loop break: an instance with no live nodes has its
+        # in-flight traffic charged but does not execute the round.
+        finished |= live_k == 0
+        hist_count.append(~finished)
+        if finished.all():
+            break
+
+        rounds += 1
+        pending = kernel.step(rounds, pending)
+        live_k = plane.live_per_instance(kernel.live)
+        # Solo bottom-of-loop break: traffic an instance queued during its
+        # final round is discarded *uncharged*.
+        finished |= live_k == 0
+        if finished.all():
+            break
+    else:
+        raise SimulationLimitError(
+            f"stacked simulation did not terminate within {max_rounds} rounds"
+        )
+
+    if union_contexts is None:
+        outputs: Dict[int, Dict[str, object]] = {
+            g: {} for g in range(plane.n)
+        }
+    else:
+        outputs = {g: dict(ctx._outputs) for g, ctx in union_contexts.items()}
+    kernel.write_outputs(outputs)
+    live_k = plane.live_per_instance(kernel.live)
+
+    executed = len(hist_msgs)
+    msgs2d = np.array(hist_msgs, dtype=np.int64).reshape(executed, k_count)
+    bits2d = np.array(hist_bits, dtype=np.int64).reshape(executed, k_count)
+    wmax2d = np.array(hist_wmax, dtype=np.int64).reshape(executed, k_count)
+    charge2d = np.array(hist_charge, dtype=bool).reshape(executed, k_count)
+    count2d = np.array(hist_count, dtype=bool).reshape(executed, k_count)
+    total_bits = (bits2d * charge2d).sum(axis=0)
+    total_messages = (msgs2d * count2d).sum(axis=0)
+    max_bits = (
+        np.where(charge2d, wmax2d, 0).max(axis=0)
+        if executed
+        else np.zeros(k_count, dtype=np.int64)
+    )
+    inst_rounds = count2d.sum(axis=0)
+
+    results: List[SimulationResult] = []
+    for k in range(k_count):
+        base = k * local_n
+        r_k = int(inst_rounds[k])
+        results.append(
+            SimulationResult(
+                rounds=r_k,
+                total_messages=int(total_messages[k]),
+                total_bits=int(total_bits[k]),
+                max_message_bits=int(max_bits[k]),
+                outputs={v: outputs[base + v] for v in range(local_n)},
+                all_halted=bool(live_k[k] == 0),
+                messages_per_round=msgs2d[:r_k, k].tolist(),
+                bits_per_round=bits2d[:r_k, k].tolist(),
+            )
+        )
+    return results

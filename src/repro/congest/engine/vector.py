@@ -177,15 +177,27 @@ class CsrPlane:
         "indptr",
         "indices",
         "degrees",
+        "local_n",
+        "local_ids",
         "_nonempty",
         "_starts",
     )
 
     def __init__(self, network: Network):
         indptr, indices = network.csr()
-        self.indptr = _as_int64(indptr)
-        self.indices = _as_int64(indices)
-        self.n = network.n
+        self._init_arrays(_as_int64(indptr), _as_int64(indices))
+        # A solo plane is its own single instance: local identifiers and the
+        # locally-known network size coincide with the global ones.  The
+        # stacked plane (engine/batched.py) overrides both so kernels keep
+        # computing with per-instance semantics (packed-key bases, id fields
+        # on the wire) no matter how many instances share the arrays.
+        self.local_n = self.n
+        self.local_ids = np.arange(self.n, dtype=np.int64)
+
+    def _init_arrays(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.n = int(indptr.shape[0]) - 1
         self.nnz = int(self.indices.shape[0])
         self.degrees = np.diff(self.indptr)
         self._nonempty = self.degrees > 0
@@ -241,6 +253,40 @@ class VectorKernel(ABC):
 
     #: Filled in by :func:`register_kernel`.
     program_class: Type[NodeProgram]
+
+    #: Stacking contract (see :mod:`repro.congest.engine.batched`): ``True``
+    #: iff K independent instances of this kernel may execute as one stacked
+    #: message plane.  Requires (a) a constant ``takeover_round`` of 1 — all
+    #: instances enter the plane in lockstep with no scalar prefix — and
+    #: (b) per-node transitions that consult only intra-instance data:
+    #: ``plane.local_n`` / ``plane.local_ids`` instead of global ids, and
+    #: never ``self.network`` (a stacked run has no single network).
+    stackable = True
+
+    @classmethod
+    def _blank(cls, plane: "CsrPlane") -> "VectorKernel":
+        """Bare kernel shell for :meth:`stacked_setup` implementations.
+
+        Bypasses ``__init__`` (there are no per-node program objects to
+        read state from); every node starts live with no outputs, exactly
+        the state after a setup phase that neither outputs nor halts.
+        """
+        self = cls.__new__(cls)
+        self.plane = plane
+        self.network = None
+        self.live = np.ones(plane.n, dtype=bool)
+        self._outputs = {}
+        return self
+
+    #: Vectorized boot (optional, stacked runs only): subclasses may bind a
+    #: classmethod ``stacked_setup(plane, inputs) -> (kernel, pending)``
+    #: that replaces per-node program instantiation, scalar ``setup`` and
+    #: handover collection with direct array initialization.  ``inputs`` is
+    #: one optional ``{node: input}`` mapping per instance (local ids).
+    #: The implementation must reproduce the scalar boot bit for bit:
+    #: same initial state, same round-1 broadcast mask/columns/bits.
+    #: ``None`` means the stacked runner boots through the scalar path.
+    stacked_setup = None
 
     def __init__(
         self,

@@ -84,6 +84,11 @@ class ColorReductionKernel(VectorKernel):
     computation runs as a small scalar loop over that round's acting class
     only — total scalar work across the run is O(sum of acting degrees),
     not O(n) per round like the scalar engines pay.
+
+    The acting class is computed from ``plane.local_n`` (the ``n`` each
+    node program believes it runs on), so the kernel is *stackable*: on a
+    stacked plane of K same-size instances every instance eliminates the
+    same class in the same global round, exactly as its solo run would.
     """
 
     _SPEC = ColorReductionProgram.message_specs[0]
@@ -98,6 +103,34 @@ class ColorReductionKernel(VectorKernel):
         #: ``neighbor_colors`` entry, which the mex must ignore).
         self.ncolor = np.full(plane.nnz, -1, dtype=np.int64)
 
+    @classmethod
+    def stacked_setup(cls, plane, inputs):
+        """Vectorized boot: every node announces its initial color.
+
+        Colors default to the node's *local* id (a proper n-coloring per
+        instance, exactly what the scalar ``setup`` picks); explicit
+        initial colors from ``inputs`` overwrite their entries.
+        """
+        kernel = cls._blank(plane)
+        color = plane.local_ids.copy()
+        local_n = plane.local_n
+        for k, mapping in enumerate(inputs):
+            if not mapping:
+                continue
+            base = k * local_n
+            for v, c in mapping.items():
+                if c is not None:
+                    color[base + int(v)] = int(c)
+        kernel.color = color
+        kernel.ncolor = np.full(plane.nnz, -1, dtype=np.int64)
+        pending = PendingBroadcast(
+            cls._SPEC,
+            plane.degrees > 0,
+            (color.copy(),),
+            cls._SPEC.bits_array((color,)),
+        )
+        return kernel, pending
+
     def step(
         self, round_no: int, inbound: Optional[PendingBroadcast]
     ) -> Optional[PendingBroadcast]:
@@ -106,7 +139,7 @@ class ColorReductionKernel(VectorKernel):
             sent = plane.sent_slots(inbound)
             self.ncolor[sent] = inbound.columns[0][plane.indices[sent]]
 
-        acting_color = plane.n - round_no
+        acting_color = plane.local_n - round_no
         if acting_color <= 0:
             for v in np.flatnonzero(self.live):
                 self.output(int(v), "color", int(self.color[v]))

@@ -128,6 +128,11 @@ class DistributedGreedyKernel(VectorKernel):
     CSR row sums, and the 2-hop maximum runs on a packed integer key that
     orders exactly like the scalar ``(span, -id)`` pair:
     ``key = span * n + (n - 1 - id)``.
+
+    All id arithmetic uses ``plane.local_ids`` / ``plane.local_n`` (equal
+    to the global ids / ``n`` on a solo plane), which is what makes the
+    kernel *stackable*: on a stacked plane every instance broadcasts and
+    compares its own local ids, bit-for-bit like a solo run.
     """
 
     _SPEC = {spec.tag: spec for spec in DistributedGreedyProgram.message_specs}
@@ -135,7 +140,7 @@ class DistributedGreedyKernel(VectorKernel):
     def __init__(self, plane, network, programs, contexts):
         super().__init__(plane, network, programs, contexts)
         n = plane.n
-        self.ids = np.arange(n, dtype=np.int64)
+        self.ids = plane.local_ids
         self.covered = np.fromiter(
             (programs[v].covered for v in range(n)), dtype=bool, count=n
         )
@@ -148,8 +153,33 @@ class DistributedGreedyKernel(VectorKernel):
         self.span = np.zeros(n, dtype=np.int64)
         self.best_key = np.zeros(n, dtype=np.int64)
 
+    @classmethod
+    def stacked_setup(cls, plane, inputs):
+        """Vectorized boot: the scalar ``setup`` is one fixed broadcast.
+
+        Every node starts uncovered and broadcasts ``Message("cov", 0)``
+        to its neighbors, so the round-1 traffic is exactly "all nodes
+        with at least one neighbor send a zero covered-bit" — no program
+        objects needed.  ``inputs`` is unused (the program takes none).
+        """
+        kernel = cls._blank(plane)
+        n = plane.n
+        kernel.ids = plane.local_ids
+        kernel.covered = np.zeros(n, dtype=bool)
+        kernel.in_ds = np.zeros(n, dtype=bool)
+        kernel.ncov = np.zeros(plane.nnz, dtype=np.int64)
+        kernel.span = np.zeros(n, dtype=np.int64)
+        kernel.best_key = np.zeros(n, dtype=np.int64)
+        spec = cls._SPEC["cov"]
+        column = np.zeros(n, dtype=np.int64)
+        pending = PendingBroadcast(
+            spec, plane.degrees > 0, (column,), spec.bits_array((column,))
+        )
+        return kernel, pending
+
     def _own_key(self) -> np.ndarray:
-        return self.span * self.plane.n + (self.plane.n - 1 - self.ids)
+        base = self.plane.local_n
+        return self.span * base + (base - 1 - self.ids)
 
     def _received_key_max(
         self, inbound: Optional[PendingBroadcast]
@@ -161,7 +191,8 @@ class DistributedGreedyKernel(VectorKernel):
         sent = plane.sent_slots(inbound)
         span_slot = inbound.columns[0][plane.indices]
         id_slot = inbound.columns[1][plane.indices]
-        key_slot = span_slot * plane.n + (plane.n - 1 - id_slot)
+        base = plane.local_n
+        key_slot = span_slot * base + (base - 1 - id_slot)
         return plane.row_max(np.where(sent, key_slot, -1), empty=-1)
 
     def _broadcast(self, tag: str, *columns: np.ndarray) -> PendingBroadcast:
@@ -198,9 +229,9 @@ class DistributedGreedyKernel(VectorKernel):
             self.best_key = np.maximum(
                 self._received_key_max(inbound), self._own_key()
             )
-            n = plane.n
+            base = plane.local_n
             return self._broadcast(
-                "best", self.best_key // n, n - 1 - self.best_key % n
+                "best", self.best_key // base, base - 1 - self.best_key % base
             )
         if step == 2:
             # 1-hop maxima arrive; locally maximal uncovered-span nodes join.

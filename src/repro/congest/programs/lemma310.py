@@ -256,6 +256,12 @@ class Lemma310ExecutionKernel(VectorKernel):
     constraint check is one int64 scatter/gather round.
     """
 
+    #: Not stackable: takeover happens after a per-instance number of
+    #: scalar color-class rounds (``2 + 3 * num_colors``), so K instances
+    #: cannot enter a shared message plane in lockstep.  Solo runs still
+    #: vectorize the execution phase; batched sweeps fall back per cell.
+    stackable = False
+
     @classmethod
     def eligible(cls, network, programs) -> bool:
         num_colors = {p.num_colors for p in programs.values()}

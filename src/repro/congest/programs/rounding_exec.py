@@ -90,6 +90,42 @@ class RoundingExecutionKernel(VectorKernel):
             (programs[v].scale for v in range(n)), dtype=np.int64, count=n
         )
 
+    @classmethod
+    def stacked_setup(cls, plane, inputs):
+        """Vectorized boot: every node announces its phase-one numerator.
+
+        Each instance must supply a full ``{node: (x_num, c_num, scale)}``
+        mapping (the solo entry point always does); a missing node raises,
+        which batched callers treat as "run this group per cell".
+        """
+        kernel = cls._blank(plane)
+        n = plane.n
+        local_n = plane.local_n
+        if any(not mapping for mapping in inputs):
+            from repro.errors import BatchEligibilityError
+
+            raise BatchEligibilityError(
+                "rounding-exec instances need full per-node input mappings"
+            )
+        x_num = np.zeros(n, dtype=np.int64)
+        c_num = np.zeros(n, dtype=np.int64)
+        scale = np.zeros(n, dtype=np.int64)
+        for k, mapping in enumerate(inputs):
+            base = k * local_n
+            for v in range(local_n):
+                xv, cv, sv = mapping[v]
+                x_num[base + v] = xv
+                c_num[base + v] = cv
+                scale[base + v] = sv
+        kernel.x_num = x_num
+        kernel.c_num = c_num
+        kernel.scale = scale
+        spec = RoundingExecutionProgram.message_specs[0]
+        pending = PendingBroadcast(
+            spec, plane.degrees > 0, (x_num,), spec.bits_array((x_num,))
+        )
+        return kernel, pending
+
     def step(
         self, round_no: int, inbound: Optional[PendingBroadcast]
     ) -> Optional[PendingBroadcast]:

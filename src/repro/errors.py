@@ -51,6 +51,29 @@ class UnknownProgramError(ReproError):
         )
 
 
+class BatchEligibilityError(CongestError):
+    """A group of instances cannot run as one stacked message plane.
+
+    Raised by :func:`repro.congest.engine.batched.run_stacked` when the
+    instances violate a stacking precondition (mixed sizes or bit budgets,
+    a program without a stackable vector kernel, non-round-1 takeover, or a
+    non-conforming handover).  The batch runner treats this as a signal to
+    fall back to per-cell execution, so callers never see it unless they
+    invoke the stacked engine directly.
+    """
+
+
+class UnknownStrategyError(ReproError):
+    """A batch-runner execution strategy was requested by an unknown name."""
+
+    def __init__(self, name: str, available: "list[str]"):
+        self.name = name
+        self.available = list(available)
+        super().__init__(
+            f"unknown strategy {name!r}; available: {', '.join(self.available)}"
+        )
+
+
 class MessageTooLargeError(CongestError):
     """A node program attempted to send a message above the bit budget."""
 

@@ -57,6 +57,44 @@ def run(fast: bool = True, eps: float = 0.5) -> ExperimentReport:
     return report
 
 
+def run_seed_sweep(
+    fast: bool = True,
+    strategy: str = "batch",
+    family: str = "gnp",
+    n: int = 60,
+) -> ExperimentReport:
+    """E2's coloring-substrate ensemble over many seeded topologies.
+
+    Theorem 1.2 rests on the final [BEK15]-style color-reduction stage
+    producing at most ``Delta + 1`` colors; this sweep runs the simulated
+    color-reduction program over the whole seed ensemble through the batch
+    runner (all seeds as one stacked message plane) and checks the color
+    bound on every seed.
+    """
+    from repro.experiments.harness import seed_sweep_cells, seed_sweep_report
+    from repro.experiments.runner import run_grid
+
+    cells = seed_sweep_cells(
+        program="color-reduction", family=family, n=n, fast=fast
+    )
+    results = run_grid(cells, strategy=strategy)
+    report = seed_sweep_report(
+        results,
+        experiment="E2-seeds",
+        claim="color reduction ensemble: <= Delta + 1 colors on every seed",
+        value_key="colors",
+    )
+    for rec in results:
+        if not rec.get("ok"):
+            continue
+        metrics = rec["metrics"]
+        report.check(
+            "colors_le_delta_plus_1",
+            metrics["colors"] <= metrics["max_degree"] + 1,
+        )
+    return report
+
+
 def run_delta_sweep(
     n: int = 96, degrees=(4, 8, 16, 24), eps: float = 0.5, seed: int = 11
 ) -> ExperimentReport:

@@ -131,6 +131,126 @@ def render_congestion(
     return " ".join(parts) if parts else "-"
 
 
+# -- multi-seed statistical sweeps (the batched-plane workload) ---------------
+
+#: Seed-ensemble widths for the statistical sweeps (fast vs full mode).
+SEED_SWEEP_COUNT_FAST = 12
+SEED_SWEEP_COUNT_FULL = 50
+#: Default axes: one suite cell, many seeds — exactly the shape the
+#: ``batch`` strategy stacks into a single message plane.
+SEED_SWEEP_FAMILY = "gnp"
+SEED_SWEEP_SIZE = 60
+
+
+def seed_sweep_cells(
+    program: str = "greedy",
+    family: str = SEED_SWEEP_FAMILY,
+    n: int = SEED_SWEEP_SIZE,
+    seeds: Sequence[int] | None = None,
+    engine: str = "vector",
+    fast: bool | None = None,
+):
+    """Cells for a many-seeds-of-one-family statistical sweep.
+
+    This is the workload behind the paper's ensemble experiments (many
+    independent runs of one program family over seeded topologies); the
+    experiment modules route it through ``run_grid(strategy="batch")`` so
+    all seeds advance as one stacked message plane.
+    """
+    from repro.experiments.runner import expand_grid
+
+    if seeds is None:
+        if fast is None:
+            fast = fast_mode()
+        seeds = range(SEED_SWEEP_COUNT_FAST if fast else SEED_SWEEP_COUNT_FULL)
+    return expand_grid(
+        families=[family],
+        sizes=[n],
+        programs=[program],
+        engines=[engine],
+        seeds=list(seeds),
+    )
+
+
+def comparable_records(results: Sequence[Mapping[str, object]]):
+    """Strip a grid run to its strategy-invariant fields.
+
+    Two runs of the same cells under different execution strategies must
+    agree on exactly these fields (cell identity, success flag, the whole
+    metrics block); wall-clock and batch annotations may differ.  Both
+    ``scripts/run_experiments.py --batched`` and
+    ``benchmarks/bench_batched.py`` compare through this single
+    definition so the parity contract cannot drift between them.
+    """
+    return [
+        {k: v for k, v in rec.items() if k in ("cell", "key", "ok", "metrics")}
+        for rec in results
+    ]
+
+
+def simulation_wall(results: Sequence[Mapping[str, object]]) -> float:
+    """Total simulation-only wall of a grid run (graph generation excluded).
+
+    Sums the per-record ``wall_s`` the runner measures around simulation;
+    both strategies generate each topology exactly once, so this isolates
+    the cost the execution strategy controls.
+    """
+    return sum(rec.get("wall_s", 0.0) for rec in results)  # type: ignore[misc]
+
+
+def seed_sweep_report(
+    results: Sequence[Mapping[str, object]],
+    experiment: str,
+    claim: str,
+    value_key: str | None = None,
+) -> ExperimentReport:
+    """Render a seed sweep as an :class:`ExperimentReport`.
+
+    One row per seed with the shared simulation metrics plus the
+    program-specific summary value (``value_key``: e.g. ``ds_size`` for
+    the greedy MDS program, ``colors`` for color reduction).  Checks
+    recorded: ``no_failures`` and ``all_halted`` on every row; callers add
+    their own claim-specific checks on the raw rows.
+    """
+    columns = ["seed", "n", "Delta", "rounds", "messages", "total_bits"]
+    if value_key:
+        columns.append(value_key)
+    columns.append("batched")
+    report = ExperimentReport(
+        experiment=experiment, claim=claim, columns=columns
+    )
+    values: List[float] = []
+    for rec in results:
+        cell = rec["cell"]  # type: ignore[index]
+        report.check("no_failures", bool(rec.get("ok")))
+        if not rec.get("ok"):
+            report.notes.append(f"{rec['key']}: {rec['error']}")  # type: ignore[index]
+            continue
+        metrics = rec["metrics"]  # type: ignore[index]
+        report.check("all_halted", bool(metrics["all_halted"]))  # type: ignore[index]
+        row = {
+            "seed": cell["seed"],  # type: ignore[index]
+            "n": metrics["n"],  # type: ignore[index]
+            "Delta": metrics["max_degree"],  # type: ignore[index]
+            "rounds": metrics["rounds"],  # type: ignore[index]
+            "messages": metrics["total_messages"],  # type: ignore[index]
+            "total_bits": metrics["total_bits"],  # type: ignore[index]
+            "batched": "yes" if "batch" in rec else "no",
+        }
+        if value_key:
+            row[value_key] = metrics.get(value_key, "")  # type: ignore[index]
+            if isinstance(metrics.get(value_key), (int, float)):  # type: ignore[index]
+                values.append(float(metrics[value_key]))  # type: ignore[index]
+        report.add_row(**row)
+    if values:
+        mean = sum(values) / len(values)
+        report.notes.append(
+            f"{value_key}: min={min(values):.0f} mean={mean:.2f} "
+            f"max={max(values):.0f} over {len(values)} seeds"
+        )
+    return report
+
+
 # -- engine comparison grid ---------------------------------------------------
 
 

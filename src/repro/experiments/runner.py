@@ -1,4 +1,4 @@
-"""Batch experiment runner: (graph × program × engine) grids across workers.
+"""Batch experiment runner: (graph × program × engine × seed) grids.
 
 The simulator executes one cell at a time; scaling to many scenarios is the
 runner's job.  A *cell* pins everything needed to reproduce one simulated
@@ -16,15 +16,24 @@ Design points:
 * **Structured failures.** A cell that raises — bad family, simulation
   limit, oversized message — produces an ``ok=False`` record with the
   exception type and message instead of tearing down the whole grid;
-  malformed grid *axes* (unknown program or engine names) raise structured
-  :class:`~repro.errors.UnknownProgramError` /
-  :class:`~repro.errors.UnknownEngineError` at expansion time instead.
+  malformed grid *axes* (unknown program, engine or strategy names) raise
+  structured :class:`~repro.errors.UnknownProgramError` /
+  :class:`~repro.errors.UnknownEngineError` /
+  :class:`~repro.errors.UnknownStrategyError` at expansion/dispatch time.
 * **Generate once, share everywhere.** All cells of one (family, n, seed)
   work item run on the same topology.  Sequentially the Network object is
   reused directly; across process workers the parent generates each graph
   once and ships its CSR arrays through ``multiprocessing.shared_memory``
   (:mod:`repro.experiments.sharedmem`), so workers skip graph generation
   entirely and nothing big travels through the pool queue.
+* **Batched seed sweeps.** ``strategy="batch"`` groups vector-engine cells
+  by (family, n, program) and executes each group's seeds as **one**
+  stacked message plane (:func:`repro.congest.engine.batched.run_stacked`)
+  instead of K per-node program instantiations.  Split results are
+  bit-for-bit identical to per-cell runs — groups that cannot stack
+  (ineligible program, mixed generated sizes, any error) transparently
+  fall back to the per-cell path, so the strategy only ever changes
+  wall-clock, never records.
 """
 
 from __future__ import annotations
@@ -42,15 +51,24 @@ from repro.congest.programs import (
     run_color_reduction,
     run_distributed_greedy,
 )
+from repro.congest.programs.color_reduction import ColorReductionProgram
+from repro.congest.programs.greedy_mds import DistributedGreedyProgram
 from repro.congest.simulator import SimulationResult
-from repro.errors import UnknownEngineError, UnknownProgramError
+from repro.errors import (
+    UnknownEngineError,
+    UnknownProgramError,
+    UnknownStrategyError,
+)
 from repro.graphs.suite import suite_instance
 
 __all__ = [
     "GridCell",
     "available_programs",
+    "available_strategies",
+    "batchable_programs",
     "expand_grid",
     "run_cell",
+    "run_batched_group",
     "run_grid",
     "summarize_results",
     "results_payload",
@@ -77,6 +95,11 @@ class GridCell:
         """Cells sharing this key run on the identical generated graph."""
         return (self.family, self.n, self.seed)
 
+    @property
+    def group_key(self) -> Tuple[str, int, str, str]:
+        """Cells sharing this key differ only by seed (one batch group)."""
+        return (self.family, self.n, self.program, self.engine)
+
 
 def _drive_bfs(network: Network, engine: str) -> SimulationResult:
     return run_bfs_forest(None, roots=[0], network=network, engine=engine)[-1]
@@ -101,9 +124,68 @@ _PROGRAMS: Dict[str, Callable[[Network, str], SimulationResult]] = {
 }
 
 
+def _summary_bfs(sim: SimulationResult) -> Dict[str, object]:
+    roots = sim.output_map("root")
+    return {"reached": sum(1 for r in roots.values() if r != -1)}
+
+
+def _summary_greedy(sim: SimulationResult) -> Dict[str, object]:
+    return {"ds_size": sum(1 for v in sim.output_map("in_ds").values() if v)}
+
+
+def _summary_color(sim: SimulationResult) -> Dict[str, object]:
+    return {"colors": len(set(sim.output_map("color").values()))}
+
+
+#: Program-specific one-line result summaries, computed from node outputs
+#: only — so the per-cell and batched paths produce identical values.
+_SUMMARIES: Dict[str, Callable[[SimulationResult], Dict[str, object]]] = {
+    "bfs": _summary_bfs,
+    "greedy": _summary_greedy,
+    "color-reduction": _summary_color,
+}
+
+
+@dataclass(frozen=True)
+class _BatchSpec:
+    """How to instantiate one instance of a batchable program family."""
+
+    factory: type
+    max_rounds: Callable[[Network], int]
+
+
+#: Programs the ``batch`` strategy can stack (same entry points as the
+#: per-cell drivers above — same factory, inputs and round limits).  BFS is
+#: absent because it has no vector kernel; the Lemma 3.10 program would be
+#: rejected at run time (its kernel is not ``stackable``).
+_BATCH: Dict[str, _BatchSpec] = {
+    "greedy": _BatchSpec(
+        factory=DistributedGreedyProgram,
+        max_rounds=lambda net: 8 * net.n + 16,
+    ),
+    "color-reduction": _BatchSpec(
+        factory=ColorReductionProgram,
+        max_rounds=lambda net: net.n + 4,
+    ),
+}
+
+#: Execution strategies :func:`run_grid` accepts.
+STRATEGIES = ("cell", "batch")
+
+
 def available_programs() -> List[str]:
     """Sorted names of the node programs the runner can drive."""
     return sorted(_PROGRAMS)
+
+
+def available_strategies() -> List[str]:
+    """Names of the grid execution strategies."""
+    return list(STRATEGIES)
+
+
+def batchable_programs() -> List[str]:
+    """Sorted names of the programs the ``batch`` strategy can stack."""
+    return sorted(_BATCH)
 
 
 def expand_grid(
@@ -112,14 +194,18 @@ def expand_grid(
     programs: Sequence[str] | None = None,
     engines: Sequence[str] | None = None,
     seed: int = 7,
+    seeds: Sequence[int] | None = None,
 ) -> List[GridCell]:
     """Cartesian expansion of the grid axes into concrete cells.
 
-    Unknown program or engine names fail fast with a structured error —
-    one bad axis value would otherwise poison every cell it touches.
+    ``seeds`` sweeps multiple topologies per (family, size) — the axis the
+    ``batch`` strategy stacks; it defaults to the single ``seed``.  Unknown
+    program or engine names fail fast with a structured error — one bad
+    axis value would otherwise poison every cell it touches.
     """
     programs = list(programs) if programs is not None else available_programs()
     engines = list(engines) if engines is not None else available_engines()
+    seed_list = list(seeds) if seeds is not None else [seed]
     for program in programs:
         if program not in _PROGRAMS:
             raise UnknownProgramError(program, available_programs())
@@ -128,11 +214,12 @@ def expand_grid(
         if engine not in registered:
             raise UnknownEngineError(engine, available_engines())
     return [
-        GridCell(family=f, n=n, program=p, engine=e, seed=seed)
+        GridCell(family=f, n=n, program=p, engine=e, seed=s)
         for f in families
         for n in sizes
         for p in programs
         for e in engines
+        for s in seed_list
     ]
 
 
@@ -140,6 +227,23 @@ def build_network(cell: GridCell) -> Network:
     """Generate the cell's graph and compile it into a CONGEST network."""
     inst = suite_instance(cell.family, cell.n, seed=cell.seed)
     return Network.congest(inst.graph)
+
+
+def _metrics(cell: GridCell, network: Network, sim: SimulationResult) -> Dict[str, object]:
+    """The metrics block of one success record (shared by both strategies)."""
+    metrics: Dict[str, object] = {
+        "n": network.n,
+        "max_degree": network.max_degree,
+        "rounds": sim.rounds,
+        "total_messages": sim.total_messages,
+        "total_bits": sim.total_bits,
+        "max_message_bits": sim.max_message_bits,
+        "all_halted": sim.all_halted,
+    }
+    summarize = _SUMMARIES.get(cell.program)
+    if summarize is not None:
+        metrics.update(summarize(sim))
+    return metrics
 
 
 def run_cell(
@@ -166,15 +270,55 @@ def run_cell(
         return record
     record["ok"] = True
     record["wall_s"] = wall
-    record["metrics"] = {
-        "n": network.n,
-        "rounds": sim.rounds,
-        "total_messages": sim.total_messages,
-        "total_bits": sim.total_bits,
-        "max_message_bits": sim.max_message_bits,
-        "all_halted": sim.all_halted,
-    }
+    record["metrics"] = _metrics(cell, network, sim)
     return record
+
+
+def run_batched_group(
+    cells: Sequence[GridCell],
+    networks: Optional[Sequence[Optional[Network]]] = None,
+) -> List[Dict[str, object]]:
+    """Execute one batch group (same family/n/program/engine, many seeds)
+    as a single stacked run; fall back to per-cell execution on any error.
+
+    Success records are shaped exactly like :func:`run_cell`'s — identical
+    ``metrics`` blocks (the stacked-plane parity guarantee) plus a
+    ``batch`` annotation recording the stack width and the group's shared
+    wall-clock.  ``wall_s`` is the group wall divided evenly across the
+    cells so per-engine wall totals stay meaningful in summaries.
+    """
+    from repro.congest.engine import run_stacked
+
+    cells = list(cells)
+    nets: List[Optional[Network]] = (
+        list(networks) if networks is not None else [None] * len(cells)
+    )
+    try:
+        for i, cell in enumerate(cells):
+            if nets[i] is None:
+                nets[i] = build_network(cell)
+        spec = _BATCH[cells[0].program]
+        start = time.perf_counter()
+        sims = run_stacked(
+            nets, spec.factory, max_rounds=spec.max_rounds(nets[0])
+        )
+        wall = time.perf_counter() - start
+    except Exception:  # noqa: BLE001 - stacking is an optimization only
+        return [run_cell(cell, network=net) for cell, net in zip(cells, nets)]
+    records = []
+    share = wall / max(1, len(cells))
+    for cell, network, sim in zip(cells, nets, sims):
+        records.append(
+            {
+                "cell": asdict(cell),
+                "key": cell.key,
+                "ok": True,
+                "wall_s": share,
+                "batch": {"k": len(cells), "group_wall_s": wall},
+                "metrics": _metrics(cell, network, sim),
+            }
+        )
+    return records
 
 
 def _run_cell_task(task) -> Dict[str, object]:
@@ -191,17 +335,169 @@ def _run_cell_task(task) -> Dict[str, object]:
     return run_cell(cell, network=network)
 
 
+def _run_batch_task(task) -> List[Dict[str, object]]:
+    """Pool worker: attach a published stacked topology group and run it."""
+    cells, handle = task
+    networks: Optional[List[Optional[Network]]] = None
+    if handle is not None:
+        from repro.experiments.sharedmem import attach_stacked
+
+        try:
+            networks = list(attach_stacked(handle))
+        except Exception:  # pragma: no cover - attach races are host-specific
+            networks = None
+    return run_batched_group(cells, networks=networks)
+
+
+def _batch_plan(
+    cells: Sequence[GridCell], batch_size: int
+) -> List[Tuple[str, List[int]]]:
+    """Partition cell indices into dispatch units for ``strategy="batch"``.
+
+    Returns ``("batch", indices)`` units for stackable groups — vector
+    engine, batchable program, ≥ 2 cells sharing a
+    :attr:`GridCell.group_key`, chunked to ``batch_size`` (0 = unlimited)
+    — and ``("cell", [index])`` units for everything else.  Units are
+    emitted in first-occurrence order; record order is restored by index
+    afterwards, so the strategy cannot reorder results.
+    """
+    groups: Dict[tuple, List[int]] = {}
+    order: List[tuple] = []
+    for i, cell in enumerate(cells):
+        batchable = cell.engine == "vector" and cell.program in _BATCH
+        key = ("group",) + cell.group_key if batchable else ("solo", i)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+    plan: List[Tuple[str, List[int]]] = []
+    for key in order:
+        indices = groups[key]
+        if key[0] == "solo" or len(indices) < 2:
+            plan.extend(("cell", [i]) for i in indices)
+            continue
+        step = batch_size if batch_size > 0 else len(indices)
+        for lo in range(0, len(indices), step):
+            chunk = indices[lo : lo + step]
+            if len(chunk) < 2:
+                plan.append(("cell", chunk))
+            else:
+                plan.append(("batch", chunk))
+    return plan
+
+
 def run_grid(
-    cells: Iterable[GridCell], jobs: int = 1
+    cells: Iterable[GridCell],
+    jobs: int = 1,
+    strategy: str = "cell",
+    batch_size: int = 0,
 ) -> List[Dict[str, object]]:
     """Run every cell, optionally across ``jobs`` worker processes.
 
-    Results come back in cell order either way; ``jobs <= 1`` runs inline
-    (deterministic and debugger-friendly).  In both modes each unique
-    (family, n, seed) topology is generated exactly once — reused
-    in-process sequentially, published through shared memory to workers.
+    ``strategy="cell"`` executes one simulation per cell;
+    ``strategy="batch"`` stacks each group of vector-engine seed-sweep
+    cells into one multi-instance run (``batch_size`` caps the stack
+    width; 0 means one stack per group).  Results come back in cell order
+    under every combination, and each unique (family, n, seed) topology is
+    generated exactly once — reused in-process sequentially, published
+    through shared memory to workers.
     """
     cells = list(cells)
+    if strategy not in STRATEGIES:
+        raise UnknownStrategyError(strategy, available_strategies())
+    if strategy == "batch":
+        return _run_batched(cells, jobs, batch_size)
+    return _run_cells(cells, jobs)
+
+
+def _run_batched(
+    cells: List[GridCell], jobs: int, batch_size: int
+) -> List[Dict[str, object]]:
+    """The ``batch`` strategy: stack seed-sweep groups, per-cell the rest."""
+    plan = _batch_plan(cells, batch_size)
+    results: List[Optional[Dict[str, object]]] = [None] * len(cells)
+
+    if jobs <= 1 or len(plan) <= 1:
+        networks: Dict[tuple, Optional[Network]] = {}
+
+        def net_for(cell: GridCell) -> Optional[Network]:
+            key = cell.topology_key
+            if key not in networks:
+                try:
+                    networks[key] = build_network(cell)
+                except Exception:  # noqa: BLE001 - recorded per cell later
+                    networks[key] = None
+            return networks[key]
+
+        for kind, indices in plan:
+            if kind == "cell":
+                for i in indices:
+                    results[i] = run_cell(cells[i], network=net_for(cells[i]))
+            else:
+                group = [cells[i] for i in indices]
+                records = run_batched_group(
+                    group, networks=[net_for(c) for c in group]
+                )
+                for i, rec in zip(indices, records):
+                    results[i] = rec
+        return results  # type: ignore[return-value]
+
+    import multiprocessing
+
+    from repro.experiments.sharedmem import SharedStackedTopology, SharedTopology
+
+    published: Dict[tuple, Optional[SharedTopology]] = {}
+    stacks: List[SharedStackedTopology] = []
+    tasks = []
+    try:
+        for kind, indices in plan:
+            if kind == "cell":
+                cell = cells[indices[0]]
+                key = cell.topology_key
+                if key not in published:
+                    try:
+                        published[key] = SharedTopology.publish(build_network(cell))
+                    except Exception:  # noqa: BLE001 - cell records the failure
+                        published[key] = None
+                topology = published[key]
+                tasks.append(
+                    ("cell", cell, topology.handle if topology else None)
+                )
+            else:
+                group = [cells[i] for i in indices]
+                handle = None
+                try:
+                    stack = SharedStackedTopology.publish(
+                        [build_network(c) for c in group]
+                    )
+                    stacks.append(stack)
+                    handle = stack.handle
+                except Exception:  # noqa: BLE001 - workers regenerate
+                    handle = None
+                tasks.append(("batch", group, handle))
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            unit_results = pool.map(_run_unit_task, tasks)
+    finally:
+        for topology in published.values():
+            if topology is not None:
+                topology.unlink()
+        for stack in stacks:
+            stack.unlink()
+    for (kind, indices), records in zip(plan, unit_results):
+        for i, rec in zip(indices, records):
+            results[i] = rec
+    return results  # type: ignore[return-value]
+
+
+def _run_unit_task(task) -> List[Dict[str, object]]:
+    """Pool worker for the batch strategy: one plan unit per task."""
+    kind, payload, handle = task
+    if kind == "cell":
+        return [_run_cell_task((payload, handle))]
+    return _run_batch_task((payload, handle))
+
+
+def _run_cells(cells: List[GridCell], jobs: int) -> List[Dict[str, object]]:
     if jobs <= 1 or len(cells) <= 1:
         networks: Dict[tuple, Optional[Network]] = {}
         results = []

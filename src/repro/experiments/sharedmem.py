@@ -28,7 +28,14 @@ import numpy as np
 
 from repro.congest.network import Network
 
-__all__ = ["SharedTopologyHandle", "SharedTopology", "attach_network"]
+__all__ = [
+    "SharedTopologyHandle",
+    "SharedTopology",
+    "attach_network",
+    "SharedStackedTopologyHandle",
+    "SharedStackedTopology",
+    "attach_stacked",
+]
 
 _DTYPE = np.int64
 
@@ -95,6 +102,129 @@ class SharedTopology:
         self.close()
         self._indptr_shm.unlink()
         self._indices_shm.unlink()
+
+
+@dataclass(frozen=True)
+class SharedStackedTopologyHandle:
+    """Picklable descriptor of one published *group* of topologies.
+
+    The batch strategy ships a whole stacked group — K same-family seed
+    topologies — to a worker as two shared blocks: every instance's
+    ``indptr`` concatenated, and every instance's ``indices`` concatenated,
+    with per-instance ``(n, nnz, bit_budget)`` shapes in the handle.  One
+    publish/attach round-trip per group instead of K.
+    """
+
+    indptr_name: str
+    indices_name: str
+    node_counts: tuple
+    nnz_counts: tuple
+    bit_budgets: tuple
+
+
+class SharedStackedTopology:
+    """Parent-side owner of one stacked group's shared CSR blocks."""
+
+    def __init__(
+        self,
+        indptr_shm: shared_memory.SharedMemory,
+        indices_shm: shared_memory.SharedMemory,
+        handle: SharedStackedTopologyHandle,
+    ):
+        self._indptr_shm = indptr_shm
+        self._indices_shm = indices_shm
+        self.handle = handle
+
+    @classmethod
+    def publish(cls, networks) -> "SharedStackedTopology":
+        """Copy every network's CSR arrays into two shared blocks."""
+        indptr_parts = []
+        indices_parts = []
+        node_counts = []
+        nnz_counts = []
+        budgets = []
+        for net in networks:
+            indptr, indices = net.csr()
+            indptr_parts.append(np.asarray(indptr, dtype=_DTYPE))
+            indices_parts.append(np.asarray(indices, dtype=_DTYPE))
+            node_counts.append(net.n)
+            nnz_counts.append(int(indices_parts[-1].size))
+            budgets.append(net.bit_budget)
+        indptr_all = np.concatenate(indptr_parts)
+        indices_all = (
+            np.concatenate(indices_parts)
+            if indices_parts
+            else np.zeros(0, dtype=_DTYPE)
+        )
+        indptr_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, indptr_all.nbytes)
+        )
+        indices_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, indices_all.nbytes)
+        )
+        np.ndarray(indptr_all.shape, dtype=_DTYPE, buffer=indptr_shm.buf)[
+            :
+        ] = indptr_all
+        if indices_all.size:
+            np.ndarray(indices_all.shape, dtype=_DTYPE, buffer=indices_shm.buf)[
+                :
+            ] = indices_all
+        handle = SharedStackedTopologyHandle(
+            indptr_name=indptr_shm.name,
+            indices_name=indices_shm.name,
+            node_counts=tuple(node_counts),
+            nnz_counts=tuple(nnz_counts),
+            bit_budgets=tuple(budgets),
+        )
+        return cls(indptr_shm, indices_shm, handle)
+
+    def close(self) -> None:
+        """Detach the parent's mapping (blocks stay alive for workers)."""
+        self._indptr_shm.close()
+        self._indices_shm.close()
+
+    def unlink(self) -> None:
+        """Free the blocks; call exactly once, after every worker is done."""
+        self.close()
+        self._indptr_shm.unlink()
+        self._indices_shm.unlink()
+
+
+def attach_stacked(handle: SharedStackedTopologyHandle) -> list:
+    """Worker-side reconstruction of a published stacked group.
+
+    Returns the K :class:`Network` instances in published order, each
+    owning a copy of its CSR slice (lifetime independent of the blocks).
+    """
+    total_ptr = sum(n + 1 for n in handle.node_counts)
+    total_idx = sum(handle.nnz_counts)
+    indptr_shm = shared_memory.SharedMemory(name=handle.indptr_name)
+    indices_shm = shared_memory.SharedMemory(name=handle.indices_name)
+    try:
+        indptr_all = np.ndarray(
+            (total_ptr,), dtype=_DTYPE, buffer=indptr_shm.buf
+        ).copy()
+        indices_all = np.ndarray(
+            (total_idx,), dtype=_DTYPE, buffer=indices_shm.buf
+        ).copy()
+    finally:
+        indptr_shm.close()
+        indices_shm.close()
+    networks = []
+    ptr_off = idx_off = 0
+    for n, nnz, budget in zip(
+        handle.node_counts, handle.nnz_counts, handle.bit_budgets
+    ):
+        networks.append(
+            Network.from_csr(
+                indptr_all[ptr_off : ptr_off + n + 1],
+                indices_all[idx_off : idx_off + nnz],
+                bit_budget=budget,
+            )
+        )
+        ptr_off += n + 1
+        idx_off += nnz
+    return networks
 
 
 def attach_network(handle: SharedTopologyHandle) -> Network:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import copy
 import json
 
+import pytest
+
 
 from repro.experiments.harness import engine_grid_cells, engine_grid_report
 from repro.experiments.runner import (
@@ -176,3 +178,124 @@ class TestEngineGridReport:
         cells = engine_grid_cells(fast=True)
         assert all(c.engine in ("reference", "fast", "vector") for c in cells)
         assert len({(c.family, c.n, c.program) for c in cells}) * 3 == len(cells)
+
+
+class TestBatchStrategy:
+    """strategy="batch" is an execution detail: records never change."""
+
+    SWEEP = expand_grid(
+        families=("gnp", "tree"),
+        sizes=(24,),
+        programs=("greedy", "color-reduction", "bfs"),
+        engines=("vector", "fast"),
+        seeds=(0, 1, 2, 3),
+    )
+
+    @staticmethod
+    def _strip(results):
+        stripped = copy.deepcopy(results)
+        for rec in stripped:
+            rec.pop("wall_s", None)
+            rec.pop("batch", None)
+        return stripped
+
+    def test_seeds_axis_expansion(self):
+        cells = expand_grid(
+            families=("gnp",), sizes=(16,), programs=("bfs",),
+            engines=("fast",), seeds=(1, 2, 3),
+        )
+        assert [c.seed for c in cells] == [1, 2, 3]
+        assert len({c.topology_key for c in cells}) == 3
+
+    def test_unknown_strategy_is_structured(self):
+        from repro.errors import UnknownStrategyError
+
+        with pytest.raises(UnknownStrategyError):
+            run_grid(self.SWEEP, strategy="warp")
+
+    def test_batch_matches_cell_records(self):
+        cell = run_grid(self.SWEEP, strategy="cell")
+        batch = run_grid(self.SWEEP, strategy="batch")
+        assert self._strip(cell) == self._strip(batch)
+        stacked = [r for r in batch if "batch" in r]
+        # greedy + color-reduction on vector engine batch; bfs and fast
+        # engine cells fall back per cell.
+        assert len(stacked) == 2 * 2 * 4
+        assert all(r["cell"]["engine"] == "vector" for r in stacked)
+        assert all(r["cell"]["program"] != "bfs" for r in stacked)
+
+    def test_batch_size_chunks_groups(self):
+        batch = run_grid(self.SWEEP, strategy="batch", batch_size=3)
+        widths = {r["batch"]["k"] for r in batch if "batch" in r}
+        assert widths == {3}  # 4 seeds -> chunk of 3 + leftover of 1 (solo)
+        assert self._strip(batch) == self._strip(
+            run_grid(self.SWEEP, strategy="cell")
+        )
+
+    def test_batch_size_one_caps_to_per_cell(self):
+        """batch_size=1 means width-1 stacks, i.e. plain per-cell runs."""
+        results = run_grid(self.SWEEP, strategy="batch", batch_size=1)
+        assert not any("batch" in r for r in results)
+        assert self._strip(results) == self._strip(
+            run_grid(self.SWEEP, strategy="cell")
+        )
+
+    def test_batch_workers_match_sequential(self):
+        sequential = run_grid(self.SWEEP, strategy="batch")
+        parallel = run_grid(self.SWEEP, strategy="batch", jobs=2)
+        assert self._strip(sequential) == self._strip(parallel)
+
+    def test_batch_survives_bad_family(self):
+        cells = list(self.SWEEP[:2]) + [
+            GridCell(family="nope", n=24, program="greedy", engine="vector")
+        ]
+        results = run_grid(cells, strategy="batch")
+        assert [r["ok"] for r in results] == [True, True, False]
+        assert results[2]["error"]["type"] == "GraphError"
+
+    def test_program_summaries_present(self):
+        results = run_grid(self.SWEEP, strategy="batch")
+        for rec in results:
+            program = rec["cell"]["program"]
+            metrics = rec["metrics"]
+            assert "max_degree" in metrics
+            if program == "greedy":
+                assert 0 < metrics["ds_size"] <= metrics["n"]
+            elif program == "color-reduction":
+                assert 0 < metrics["colors"] <= metrics["max_degree"] + 1
+            elif program == "bfs":
+                assert metrics["reached"] >= 1
+
+    def test_cli_quick_batch_smoke(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["grid", "--quick", "--strategy", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "engine_parity=PASS" in out
+        assert "no_failures=PASS" in out
+
+
+class TestSharedStackedTopology:
+    def test_publish_attach_round_trip(self):
+        from repro.experiments.sharedmem import (
+            SharedStackedTopology,
+            attach_stacked,
+        )
+        from repro.experiments.runner import build_network
+
+        cells = [
+            GridCell(family="gnp", n=20, program="greedy", engine="vector", seed=s)
+            for s in range(3)
+        ]
+        networks = [build_network(c) for c in cells]
+        stack = SharedStackedTopology.publish(networks)
+        try:
+            rebuilt = attach_stacked(stack.handle)
+        finally:
+            stack.unlink()
+        assert len(rebuilt) == 3
+        for original, copy_net in zip(networks, rebuilt):
+            assert copy_net.n == original.n
+            assert copy_net.bit_budget == original.bit_budget
+            for v in range(original.n):
+                assert copy_net.neighbors(v) == original.neighbors(v)

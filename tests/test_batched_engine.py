@@ -1,0 +1,235 @@
+"""Stacked multi-instance engine: parity, isolation, eligibility.
+
+The batched mode's contract is absolute: splitting a K-instance stacked
+run must reproduce K solo ``vector``-engine runs **bit for bit** — rounds,
+outputs, message/bit totals, per-round series, ``max_message_bits``, all
+of it.  These tests enforce the contract across the graph zoo and seed
+ensembles, prove per-instance termination masks never leak traffic
+between instances, and pin the eligibility rules (what must raise
+:class:`BatchEligibilityError` so the runner falls back per cell).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest.engine import StackedPlane, run_stacked, stack_ineligibility
+from repro.congest.network import Network
+from repro.congest.programs.bfs import BFSTreeProgram
+from repro.congest.programs.color_reduction import ColorReductionProgram
+from repro.congest.programs.greedy_mds import DistributedGreedyProgram
+from repro.congest.programs.lemma310 import Lemma310Program
+from repro.congest.programs.rounding_exec import RoundingExecutionProgram
+from repro.congest.simulator import Simulator
+from repro.errors import BatchEligibilityError
+from repro.graphs.suite import suite_instance
+
+#: (program class, max_rounds for size n, per-instance inputs builder).
+PROGRAMS = {
+    "greedy": (DistributedGreedyProgram, lambda n: 8 * n + 16, None),
+    "color-reduction": (ColorReductionProgram, lambda n: n + 4, None),
+    "rounding-exec": (
+        RoundingExecutionProgram,
+        lambda n: 4,
+        lambda n, k: {v: ((3 * v + k) % 23, 40, 64) for v in range(n)},
+    ),
+}
+
+#: Families whose generators honor the requested n exactly, so K seeds of
+#: one (family, n) always stack.
+EXACT_FAMILIES = ("gnp", "gnp-dense", "tree", "geometric", "ba")
+
+
+def _networks(family: str, n: int, seeds) -> list:
+    return [
+        Network.congest(suite_instance(family, n, seed=s).graph) for s in seeds
+    ]
+
+
+def _solo_and_stacked(program: str, networks, seeds=None):
+    cls, max_rounds, inputs_fn = PROGRAMS[program]
+    n = networks[0].n
+    inputs = (
+        [inputs_fn(n, k) for k in range(len(networks))] if inputs_fn else None
+    )
+    solo = [
+        Simulator(
+            net, cls, inputs=(inputs[k] if inputs else {}), engine="vector"
+        ).run(max_rounds=max_rounds(n))
+        for k, net in enumerate(networks)
+    ]
+    stacked = run_stacked(networks, cls, inputs=inputs, max_rounds=max_rounds(n))
+    return solo, stacked
+
+
+@pytest.mark.parametrize("family", EXACT_FAMILIES)
+@pytest.mark.parametrize("program", sorted(PROGRAMS))
+def test_stacked_parity_across_families(family, program):
+    """K stacked seeds == K solo vector runs, field for field."""
+    networks = _networks(family, 32, range(5))
+    solo, stacked = _solo_and_stacked(program, networks)
+    for k, (a, b) in enumerate(zip(solo, stacked)):
+        assert a.rounds == b.rounds, (family, program, k)
+        assert a.outputs == b.outputs, (family, program, k)
+        assert a.total_messages == b.total_messages, (family, program, k)
+        assert a.total_bits == b.total_bits, (family, program, k)
+        assert a.max_message_bits == b.max_message_bits, (family, program, k)
+        assert a.messages_per_round == b.messages_per_round, (family, program, k)
+        assert a.bits_per_round == b.bits_per_round, (family, program, k)
+        assert a.all_halted == b.all_halted
+        assert a == b
+
+
+def test_stacked_parity_heterogeneous_termination():
+    """Instances finishing at very different rounds stay independent.
+
+    The greedy run on a sparse tree terminates in far fewer phases than on
+    a denser gnp of the same size; after the early instance's termination
+    mask empties, its per-round series must stop exactly where its solo
+    run stopped while the siblings run on — any cross-instance message
+    leak would shift the degree-weighted per-round counts.
+    """
+    networks = _networks("tree", 48, range(3)) + _networks("gnp-dense", 48, range(3))
+    solo, stacked = _solo_and_stacked("greedy", networks)
+    rounds = sorted(r.rounds for r in stacked)
+    assert rounds[0] < rounds[-1], "workload should terminate heterogeneously"
+    assert solo == stacked
+    for result in stacked:
+        # Per-instance series are exactly as long as the instance ran and
+        # account exactly its own traffic.
+        assert len(result.messages_per_round) == result.rounds
+        assert len(result.bits_per_round) == result.rounds
+        assert sum(result.messages_per_round) == result.total_messages
+        assert sum(result.bits_per_round) == result.total_bits
+        assert all(isinstance(b, int) for b in result.bits_per_round)
+
+
+def test_stacked_identical_copies_agree():
+    """K copies of one seed produce K identical results equal to solo."""
+    networks = _networks("gnp", 24, [7] * 4)
+    solo, stacked = _solo_and_stacked("greedy", networks)
+    assert stacked == solo
+    assert all(r == stacked[0] for r in stacked)
+
+
+def test_stacked_single_instance_matches_solo():
+    networks = _networks("geometric", 30, [3])
+    solo, stacked = _solo_and_stacked("color-reduction", networks)
+    assert stacked == solo
+
+
+class TestStackedPlaneIsolation:
+    """Structural no-leak properties of the block-diagonal plane."""
+
+    @pytest.mark.parametrize("family", EXACT_FAMILIES)
+    def test_instance_slots_stay_in_instance(self, family):
+        networks = _networks(family, 20, range(4))
+        plane = StackedPlane(networks)
+        n = plane.local_n
+        for k in range(plane.instances):
+            lo, hi = plane.slot_offsets[k], plane.slot_offsets[k + 1]
+            neighbors = plane.indices[lo:hi]
+            assert neighbors.size == 0 or (
+                neighbors.min() >= k * n and neighbors.max() < (k + 1) * n
+            ), f"instance {k} references foreign nodes"
+        assert plane.n == len(networks) * n
+        assert plane.nnz == sum(net.csr()[1].__len__() for net in networks)
+
+    def test_local_ids_and_instance_of(self):
+        networks = _networks("tree", 15, range(3))
+        plane = StackedPlane(networks)
+        assert list(plane.local_ids[:15]) == list(range(15))
+        assert list(plane.local_ids[15:30]) == list(range(15))
+        assert list(plane.instance_of[:15]) == [0] * 15
+        assert list(plane.instance_of[30:]) == [2] * 15
+
+    def test_row_reductions_match_per_instance_planes(self):
+        from repro.congest.engine import CsrPlane
+
+        networks = _networks("gnp", 18, range(3))
+        plane = StackedPlane(networks)
+        values = np.arange(plane.nnz, dtype=np.int64) % 11
+        stacked_sum = plane.row_sum(values)
+        for k, net in enumerate(networks):
+            solo = CsrPlane(net)
+            lo, hi = plane.slot_offsets[k], plane.slot_offsets[k + 1]
+            solo_sum = solo.row_sum(values[lo:hi])
+            assert list(stacked_sum[k * 18 : (k + 1) * 18]) == list(solo_sum)
+
+
+class TestEligibility:
+    def test_mixed_sizes_raise(self):
+        networks = _networks("gnp", 20, [0]) + _networks("gnp", 24, [0])
+        with pytest.raises(BatchEligibilityError):
+            run_stacked(networks, DistributedGreedyProgram)
+
+    def test_mixed_budgets_raise(self):
+        graphs = [suite_instance("gnp", 20, seed=s).graph for s in range(2)]
+        networks = [Network.congest(graphs[0]), Network.local(graphs[1])]
+        with pytest.raises(BatchEligibilityError):
+            run_stacked(networks, DistributedGreedyProgram)
+
+    def test_zero_instances_raise(self):
+        with pytest.raises(BatchEligibilityError):
+            run_stacked([], DistributedGreedyProgram)
+
+    def test_program_without_kernel_raises(self):
+        networks = _networks("gnp", 20, range(2))
+        with pytest.raises(BatchEligibilityError):
+            run_stacked(networks, BFSTreeProgram)
+
+    def test_lemma310_is_not_stackable(self):
+        assert stack_ineligibility(Lemma310Program) is not None
+        assert "stackable" in stack_ineligibility(Lemma310Program)
+
+    def test_stackable_programs_report_eligible(self):
+        for cls in (
+            DistributedGreedyProgram,
+            ColorReductionProgram,
+            RoundingExecutionProgram,
+        ):
+            assert stack_ineligibility(cls) is None
+
+    def test_bfs_reports_reason(self):
+        assert "message_specs" in stack_ineligibility(BFSTreeProgram)
+
+
+def test_color_reduction_respects_initial_colors():
+    """Stacked boot honors explicit per-instance initial colorings."""
+    networks = _networks("tree", 16, range(3))
+    n = networks[0].n
+    inputs = [
+        {v: (v + k) % n for v in range(n)} for k in range(len(networks))
+    ]
+    solo = [
+        Simulator(
+            net, ColorReductionProgram, inputs=inputs[k], engine="vector"
+        ).run(max_rounds=n + 4)
+        for k, net in enumerate(networks)
+    ]
+    stacked = run_stacked(
+        networks, ColorReductionProgram, inputs=inputs, max_rounds=n + 4
+    )
+    assert solo == stacked
+
+
+def test_scalar_boot_fallback_matches_vectorized_boot(monkeypatch):
+    """A stackable kernel without ``stacked_setup`` boots through the
+    object-level path (per-node programs + handover) with identical
+    results — the contract both boots must satisfy."""
+    from repro.congest.engine import kernel_for
+
+    kernel_cls = kernel_for(DistributedGreedyProgram)
+    networks = _networks("gnp", 28, range(4))
+    fast = run_stacked(networks, DistributedGreedyProgram, max_rounds=8 * 28 + 16)
+    monkeypatch.setattr(kernel_cls, "stacked_setup", None)
+    scalar = run_stacked(networks, DistributedGreedyProgram, max_rounds=8 * 28 + 16)
+    assert fast == scalar
+
+
+def test_rounding_exec_missing_inputs_is_eligibility_error():
+    """Absent per-node inputs surface as the documented fallback signal."""
+    networks = _networks("gnp", 16, range(2))
+    with pytest.raises(BatchEligibilityError):
+        run_stacked(networks, RoundingExecutionProgram, max_rounds=4)

@@ -1,0 +1,86 @@
+"""Docs suite invariants: links resolve, the catalog stays in sync.
+
+The markdown link check also runs as a CI docs-job gate
+(``scripts/check_docs_links.py``); running it in tier-1 means a broken
+link fails locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(ROOT / "scripts"))
+
+from check_docs_links import check, doc_files, github_slug  # noqa: E402
+
+
+def test_docs_suite_exists():
+    for name in ("architecture.md", "experiments.md", "engines.md"):
+        assert (ROOT / "docs" / name).is_file(), f"docs/{name} missing"
+
+
+def test_readme_links_docs_suite():
+    readme = (ROOT / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/engines.md", "docs/experiments.md"):
+        assert name in readme, f"README does not link {name}"
+
+
+def test_no_broken_intra_repo_links():
+    broken = check(ROOT)
+    assert not broken, "broken markdown links:\n" + "\n".join(broken)
+
+
+def test_link_checker_sees_the_docs():
+    names = {p.name for p in doc_files(ROOT)}
+    assert {"README.md", "architecture.md", "experiments.md", "engines.md"} <= names
+
+
+def test_slugging_matches_github_conventions():
+    assert github_slug("Life of a grid cell") == "life-of-a-grid-cell"
+    assert (
+        github_slug("Batched multi-instance execution (the `batch` strategy)")
+        == "batched-multi-instance-execution-the-batch-strategy"
+    )
+
+
+def test_experiment_catalog_covers_all_modules():
+    """Every experiment module appears in docs/experiments.md."""
+    catalog = (ROOT / "docs" / "experiments.md").read_text()
+    modules = sorted(
+        p.stem
+        for p in (ROOT / "src" / "repro" / "experiments").glob("e*.py")
+    )
+    assert len(modules) == 12
+    for module in modules:
+        assert module in catalog, f"{module} missing from docs/experiments.md"
+
+
+def test_engines_doc_covers_batched_mode():
+    engines = (ROOT / "docs" / "engines.md").read_text()
+    for needle in (
+        "Choosing an engine",
+        "Stacking eligibility",
+        "lemma310",
+        "stackable",
+        "strategy=\"batch\"",
+    ):
+        assert needle in engines, f"docs/engines.md lost section: {needle!r}"
+
+
+def test_no_tracked_pycache(tmp_path):
+    """PR 3 removed committed bytecode; .gitignore must keep it out."""
+    gitignore = (ROOT / ".gitignore").read_text()
+    assert "__pycache__/" in gitignore
+    import subprocess
+
+    tracked = subprocess.run(
+        ["git", "ls-files", "*.pyc"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert tracked.stdout.strip() == "", "compiled bytecode is tracked again"
