@@ -60,6 +60,15 @@ def main(n: int = 100, seed: int = 42) -> None:
             f"fractionality={stage.fractionality:.3g} {stage.detail}"
         )
 
+    # Grid sweeps go through the Experiment builder (repro.api): pick
+    # programs, axes and an engine; the execution strategy is negotiated
+    # per program spec (see examples/experiment_api.py for the full tour).
+    from repro.api import Experiment
+
+    sweep = Experiment("greedy").on("gnp").sizes(n).engine("vector").seeds(3).run()
+    sizes = [rec.metrics["ds_size"] for rec in sweep]
+    print(f"\nsimulated greedy over 3 seeded topologies: |DS| = {sizes}")
+
 
 if __name__ == "__main__":
     args = [int(a) for a in sys.argv[1:3]]

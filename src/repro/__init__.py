@@ -43,7 +43,10 @@ from repro.analysis import (
 )
 from repro.domsets import CFDS, CoveringInstance
 
-__version__ = "1.0.0"
+#: 1.1.0: unified experiment API (``repro.api``) — ProgramSpec registry,
+#: Experiment builder, streaming grid results; legacy dict-record functions
+#: (``expand_grid``, ``run_cell``) are deprecation shims until 2.0.
+__version__ = "1.1.0"
 
 __all__ = [
     "MDSResult",

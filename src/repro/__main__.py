@@ -12,9 +12,14 @@ Commands
 simulation engine (``fast`` flat-array default, ``reference`` baseline,
 ``vector`` numpy message plane); ``grid`` additionally takes ``--jobs``
 for shared-memory multiprocessing workers, ``--seeds`` for seed-ensemble
-sweeps and ``--strategy batch`` to execute those sweeps as stacked
+sweeps, ``--strategy batch`` to execute those sweeps as stacked
 multi-instance message planes (``--batch-size`` caps the stack width,
-``--quick`` runs a small self-contained batched smoke grid).
+``auto`` negotiates per program) and ``--stream`` to print each record as
+a JSON line the moment it finishes (``--quick`` runs a small
+self-contained batched smoke grid).  The ``grid`` command is a thin shell
+over :class:`repro.api.Experiment`; its ``--programs`` axis accepts every
+registered program, including ``lemma310``, ``rounding-exec``,
+``tree-sum`` and the ``cds`` composite.
 
 Examples
 --------
@@ -25,6 +30,7 @@ Examples
     python -m repro grid --families gnp --sizes 60 --programs greedy \
         --engines vector --seeds 0,1,2,3,4,5,6,7 --strategy batch
     python -m repro grid --quick --strategy batch
+    python -m repro grid --quick --stream
 """
 
 from __future__ import annotations
@@ -163,15 +169,11 @@ def cmd_bench(args) -> int:
 
 
 def cmd_grid(args) -> int:
+    import json as _json
+
+    from repro.api import Experiment, available_programs, batchable_programs
     from repro.errors import ReproError
     from repro.experiments.harness import engine_grid_report
-    from repro.experiments.runner import (
-        available_programs,
-        batchable_programs,
-        expand_grid,
-        run_grid,
-        write_results,
-    )
 
     if args.quick:
         # A small self-contained smoke grid exercising the batched path:
@@ -195,26 +197,35 @@ def cmd_grid(args) -> int:
             if args.seeds
             else [args.seed]
         )
+    experiment = (
+        Experiment(*programs)
+        .on(*families_list)
+        .sizes(*sizes)
+        .engines(*engines)
+        .seeds(seeds)
+        .strategy(args.strategy)
+        .batch_size(args.batch_size)
+        .jobs(args.jobs)
+    )
     try:
-        cells = expand_grid(
-            families_list, sizes, programs=programs, engines=engines, seeds=seeds
-        )
-        results = run_grid(
-            cells,
-            jobs=args.jobs,
-            strategy=args.strategy,
-            batch_size=args.batch_size,
-        )
+        if args.stream:
+            # Emit one JSON line per record the moment its dispatch unit
+            # finishes, then restore deterministic cell order for the report.
+            records = []
+            for record in experiment.stream():
+                print(_json.dumps(record.to_dict()), flush=True)
+                records.append(record)
+            sweep = experiment.collect(records)
+        else:
+            sweep = experiment.run()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = engine_grid_report(results)
+    report = engine_grid_report(sweep.to_dicts())
     if args.json_out:
-        write_results(
-            args.json_out,
-            results,
-            meta={"jobs": args.jobs, "strategy": args.strategy},
-        )
+        # sweep.meta already records the *resolved* strategy (what actually
+        # ran — "auto" never reaches the artifact).
+        sweep.write(args.json_out)
         print(f"wrote {args.json_out}")
     print(report.render())
     return 0 if report.all_checks_pass else 1
@@ -271,13 +282,20 @@ def build_parser() -> argparse.ArgumentParser:
         "the axis the batch strategy stacks",
     )
     p_grid.add_argument(
-        "--strategy", default="cell", choices=["cell", "batch"],
+        "--strategy", default="cell", choices=["cell", "batch", "auto"],
         help="cell = one simulation per cell; batch = stack vector-engine "
-        "seed sweeps into one multi-instance message plane",
+        "seed sweeps into one multi-instance message plane; auto = "
+        "negotiate per the registry (batch exactly when a stackable "
+        "seed sweep is present)",
     )
     p_grid.add_argument(
         "--batch-size", type=int, default=0,
         help="max instances per stacked run (0 = one stack per group)",
+    )
+    p_grid.add_argument(
+        "--stream", action="store_true",
+        help="print each record as a JSON line the moment it finishes "
+        "(completion order), then the ordered report",
     )
     p_grid.add_argument(
         "--quick", action="store_true",

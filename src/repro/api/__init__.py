@@ -1,0 +1,43 @@
+"""``repro.api`` — the unified experiment surface.
+
+Three pieces, designed to be used together:
+
+* the **program registry** (:class:`ProgramSpec`, :func:`register_program`,
+  :func:`program_spec`, :func:`available_programs`): every CONGEST node
+  program — and the CDS composite pipeline — self-registers a declarative
+  spec, so grid axes, drivers, summaries and batch eligibility all come
+  from one place;
+* the **builder** (:class:`Experiment`): fluent grid construction with
+  engine/strategy negotiation, ``run()`` for ordered results and
+  ``stream()`` for records-as-they-finish;
+* **typed records** (:class:`RunRecord`, :class:`SweepResult`): the
+  result objects, convertible to/from the legacy dict shape via
+  ``to_dict()`` / ``from_dict()``.
+
+See ``docs/api.md`` for the full guide and ``examples/experiment_api.py``
+for a runnable tour.
+"""
+
+from repro.api.experiment import Experiment
+from repro.api.records import RunRecord, SweepResult, as_record_dicts
+from repro.api.registry import (
+    ProgramSpec,
+    available_programs,
+    batchable_programs,
+    program_spec,
+    register_program,
+    registered_specs,
+)
+
+__all__ = [
+    "Experiment",
+    "ProgramSpec",
+    "RunRecord",
+    "SweepResult",
+    "as_record_dicts",
+    "available_programs",
+    "batchable_programs",
+    "program_spec",
+    "register_program",
+    "registered_specs",
+]

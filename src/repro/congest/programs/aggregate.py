@@ -101,7 +101,7 @@ class TreeAggregationProgram(NodeProgram):
 
 
 def run_tree_sum(
-    graph: nx.Graph,
+    graph: nx.Graph | None,
     parent_of: Mapping[int, int],
     vectors: Mapping[int, Sequence[int]],
     network: Network | None = None,
@@ -111,7 +111,9 @@ def run_tree_sum(
 
     ``parent_of`` maps node -> parent (``-1`` for roots); nodes absent from
     the mapping take no part.  Returns ``(totals_by_node, result)`` where
-    each participating node reports the total of *its* tree.
+    each participating node reports the total of *its* tree.  ``graph``
+    may be ``None`` when ``network`` is given (e.g. a shared-memory CSR
+    reconstruction).
     """
     network = network or Network.congest(graph)
     children_count: Dict[int, int] = {v: 0 for v in parent_of}
@@ -120,7 +122,7 @@ def run_tree_sum(
             children_count[p] = children_count.get(p, 0) + 1
     width = max((len(vec) for vec in vectors.values()), default=1)
     inputs = {}
-    for v in graph.nodes():
+    for v in graph.nodes() if graph is not None else range(network.n):
         if v in parent_of:
             vec = list(vectors.get(v, ())) + [0] * width
             inputs[v] = (parent_of[v], children_count.get(v, 0), vec[:width])
@@ -129,3 +131,50 @@ def run_tree_sum(
     sim = Simulator(network, TreeAggregationProgram, inputs=inputs, engine=engine)
     result = sim.run(max_rounds=6 * network.n + 12)
     return result.output_map("total"), result
+
+
+# -- experiment-surface registration ------------------------------------------
+
+from repro.api.registry import ProgramSpec, register_program  # noqa: E402
+from repro.congest.programs.bfs import run_bfs_forest  # noqa: E402
+
+
+def _drive(network: Network, engine: str) -> SimulationResult:
+    """Canonical tree-sum workload: count the BFS tree rooted at node 0.
+
+    The BFS forest is built first (on the same engine); the metered result
+    is the aggregation itself — every node in the tree contributes the
+    vector ``(1,)``, so the broadcast total equals the tree size.
+    """
+    root_of, _dist, parent_of, _ = run_bfs_forest(
+        None, roots=[0], network=network, engine=engine
+    )
+    parents = {
+        v: parent_of[v] for v in range(network.n) if root_of.get(v, -1) != -1
+    }
+    vectors = {v: (1,) for v in parents}
+    _totals, sim = run_tree_sum(
+        None, parents, vectors, network=network, engine=engine
+    )
+    return sim
+
+
+def _summary(sim: SimulationResult) -> Dict[str, object]:
+    totals = sim.output_map("total")
+    return {
+        "reached": len(totals),
+        "tree_total": max((int(t[0]) for t in totals.values()), default=0),
+    }
+
+
+register_program(
+    ProgramSpec(
+        name="tree-sum",
+        description="convergecast + broadcast over the BFS tree of node 0",
+        program=TreeAggregationProgram,
+        drive=_drive,
+        summarize=_summary,
+        # No batch recipe: the aggregation uses targeted per-port sends,
+        # which the stacked broadcast plane does not model.
+    )
+)

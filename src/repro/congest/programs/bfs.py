@@ -112,3 +112,29 @@ def run_bfs_forest(
         result.output_map("parent"),
         result,
     )
+
+
+# -- experiment-surface registration ------------------------------------------
+
+from repro.api.registry import ProgramSpec, register_program  # noqa: E402
+
+
+def _drive(network: Network, engine: str) -> SimulationResult:
+    return run_bfs_forest(None, roots=[0], network=network, engine=engine)[-1]
+
+
+def _summary(sim: SimulationResult) -> Dict[str, object]:
+    roots = sim.output_map("root")
+    return {"reached": sum(1 for r in roots.values() if r != -1)}
+
+
+register_program(
+    ProgramSpec(
+        name="bfs",
+        description="BFS forest flood from node 0 (O(diameter) rounds)",
+        program=BFSTreeProgram,
+        drive=_drive,
+        summarize=_summary,
+        # No batch recipe: BFS has no vector kernel to stack.
+    )
+)

@@ -180,3 +180,29 @@ def run_color_reduction(
     sim = Simulator(network, ColorReductionProgram, inputs=inputs, engine=engine)
     result = sim.run(max_rounds=network.n + 4)
     return result.output_map("color"), result
+
+
+# -- experiment-surface registration ------------------------------------------
+
+from repro.api.registry import ProgramSpec, register_program  # noqa: E402
+
+
+def _drive(network: Network, engine: str) -> SimulationResult:
+    return run_color_reduction(None, network=network, engine=engine)[-1]
+
+
+def _summary(sim: SimulationResult) -> Dict[str, object]:
+    return {"colors": len(set(sim.output_map("color").values()))}
+
+
+register_program(
+    ProgramSpec(
+        name="color-reduction",
+        description="[BEK15]-style reduction to at most Delta+1 colors",
+        program=ColorReductionProgram,
+        drive=_drive,
+        summarize=_summary,
+        batch_factory=ColorReductionProgram,
+        batch_max_rounds=lambda net: net.n + 4,
+    )
+)

@@ -263,3 +263,29 @@ def run_distributed_greedy(
     result = sim.run(max_rounds=8 * network.n + 16)
     ds = {v for v, out in result.outputs.items() if out.get("in_ds")}
     return ds, result
+
+
+# -- experiment-surface registration ------------------------------------------
+
+from repro.api.registry import ProgramSpec, register_program  # noqa: E402
+
+
+def _drive(network: Network, engine: str) -> SimulationResult:
+    return run_distributed_greedy(None, network=network, engine=engine)[-1]
+
+
+def _summary(sim: SimulationResult) -> Dict[str, object]:
+    return {"ds_size": sum(1 for v in sim.output_map("in_ds").values() if v)}
+
+
+register_program(
+    ProgramSpec(
+        name="greedy",
+        description="locally-maximal greedy dominating set (4-round phases)",
+        program=DistributedGreedyProgram,
+        drive=_drive,
+        summarize=_summary,
+        batch_factory=DistributedGreedyProgram,
+        batch_max_rounds=lambda net: 8 * net.n + 16,
+    )
+)

@@ -317,7 +317,7 @@ class Lemma310ExecutionKernel(VectorKernel):
 
 
 def run_lemma310_on_graph(
-    graph: nx.Graph,
+    graph: nx.Graph | None,
     values: Mapping[int, float],
     p: Mapping[int, float],
     colors: Mapping[int, int],
@@ -330,13 +330,15 @@ def run_lemma310_on_graph(
 
     ``colors`` must be a distance-2 coloring of the participating nodes
     (0-based).  Returns (final values, coins, simulation metrics).
+    ``graph`` may be ``None`` when ``network`` is given (e.g. a
+    shared-memory CSR reconstruction).
     """
-    n = graph.number_of_nodes()
-    grid = grid or TransmittableGrid.for_n(n)
     network = network or Network.congest(graph)
+    n = network.n
+    grid = grid or TransmittableGrid.for_n(n)
     num_colors = (max(colors.values()) + 1) if colors else 0
     inputs = {}
-    for v in graph.nodes():
+    for v in graph.nodes() if graph is not None else range(n):
         inputs[v] = {
             "iota": grid.iota,
             "x_num": grid.to_int(values.get(v, 0.0)),
@@ -353,3 +355,53 @@ def run_lemma310_on_graph(
     }
     coins = {v: c for v, c in result.output_map("coin").items()}
     return final_values, coins, result
+
+
+# -- experiment-surface registration ------------------------------------------
+
+from repro.api.registry import ProgramSpec, register_program  # noqa: E402
+
+
+def _drive(network: Network, engine: str) -> SimulationResult:
+    """Canonical Lemma 3.10 workload: every node a fair coin, ``c = 1``.
+
+    ``x(v) = p(v) = 1/2`` makes every node a participating variable, and a
+    distance-2 coloring is derived from the topology itself (via the lazy
+    ``network.graph``), so the whole derandomization loop — exchange,
+    per-color conditional-expectation rounds, execution phases — runs with
+    inputs fully determined by the cell.
+    """
+    from repro.coloring.distance2 import distance2_coloring
+
+    coloring = distance2_coloring(network.graph)
+    n = network.n
+    values = {v: 0.5 for v in range(n)}
+    p = {v: 0.5 for v in range(n)}
+    _vals, _coins, sim = run_lemma310_on_graph(
+        None, values, p, coloring.colors, network=network, engine=engine
+    )
+    return sim
+
+
+def _summary(sim: SimulationResult) -> Dict[str, object]:
+    scale = 1 << TransmittableGrid.for_n(len(sim.outputs)).iota
+    values = sim.output_map("value")
+    return {
+        "joined": sum(1 for num in values.values() if num == scale),
+        "decided": len(sim.output_map("coin")),
+    }
+
+
+register_program(
+    ProgramSpec(
+        name="lemma310",
+        description="Lemma 3.10 color-class conditional-expectation loop",
+        program=Lemma310Program,
+        drive=_drive,
+        summarize=_summary,
+        # No batch recipe: the execution kernel takes over after a
+        # per-instance number of scalar color rounds, so K instances cannot
+        # share one plane (its kernel is stackable=False); batched sweeps
+        # fall back per cell.
+    )
+)

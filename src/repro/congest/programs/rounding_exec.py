@@ -145,7 +145,7 @@ class RoundingExecutionKernel(VectorKernel):
 
 
 def run_rounding_execution(
-    graph: nx.Graph,
+    graph: nx.Graph | None,
     phase_one_values: Mapping[int, float],
     constraints: Mapping[int, float],
     grid: TransmittableGrid | None = None,
@@ -155,10 +155,11 @@ def run_rounding_execution(
     """Run phase two of the abstract rounding process distributedly.
 
     Returns ``(final_values, result)`` with final values mapped back to
-    floats on the grid.
+    floats on the grid.  ``graph`` may be ``None`` when ``network`` is
+    given (e.g. a shared-memory CSR reconstruction).
     """
-    grid = grid or TransmittableGrid.for_n(graph.number_of_nodes())
     network = network or Network.congest(graph)
+    grid = grid or TransmittableGrid.for_n(network.n)
     scale = 1 << grid.iota
     inputs = {
         v: (
@@ -166,7 +167,7 @@ def run_rounding_execution(
             grid.to_int(constraints.get(v, 1.0)),
             scale,
         )
-        for v in graph.nodes()
+        for v in (graph.nodes() if graph is not None else range(network.n))
     }
     sim = Simulator(network, RoundingExecutionProgram, inputs=inputs, engine=engine)
     result = sim.run(max_rounds=4)
@@ -174,3 +175,60 @@ def run_rounding_execution(
         v: grid.from_int(num) for v, num in result.output_map("value").items()
     }
     return values, result
+
+
+# -- experiment-surface registration ------------------------------------------
+
+from repro.api.registry import ProgramSpec, register_program  # noqa: E402
+
+
+def default_rounding_inputs(
+    network: Network, grid: TransmittableGrid | None = None
+) -> Dict[int, Tuple[int, int, int]]:
+    """The spec's canonical workload: ``x(v) = 1/(deg(v)+1)`` against ``c = 1``.
+
+    The uniform fractional relaxation — every node spreads one unit of
+    coverage over its inclusive neighborhood — so the constraint check is
+    non-trivial on every topology and fully determined by the topology
+    (identical for per-cell and stacked executions).
+    """
+    grid = grid or TransmittableGrid.for_n(network.n)
+    scale = 1 << grid.iota
+    return {
+        v: (
+            grid.to_int(1.0 / (network.degree(v) + 1)),
+            grid.to_int(1.0),
+            scale,
+        )
+        for v in range(network.n)
+    }
+
+
+def _drive(network: Network, engine: str) -> SimulationResult:
+    sim = Simulator(
+        network,
+        RoundingExecutionProgram,
+        inputs=default_rounding_inputs(network),
+        engine=engine,
+    )
+    return sim.run(max_rounds=4)
+
+
+def _summary(sim: SimulationResult) -> Dict[str, object]:
+    scale = 1 << TransmittableGrid.for_n(len(sim.outputs)).iota
+    values = sim.output_map("value")
+    return {"joined": sum(1 for num in values.values() if num == scale)}
+
+
+register_program(
+    ProgramSpec(
+        name="rounding-exec",
+        description="Section 3.1 rounding phase two: one constraint-check round",
+        program=RoundingExecutionProgram,
+        drive=_drive,
+        summarize=_summary,
+        batch_factory=RoundingExecutionProgram,
+        batch_max_rounds=lambda net: 4,
+        batch_inputs=default_rounding_inputs,
+    )
+)

@@ -75,23 +75,35 @@ def run_seed_sweep(
     ``n / (Delta + 1) <= |DS| <= n`` — the lower bound every dominating
     set obeys, the upper bound certifying a non-degenerate output.
     """
-    from repro.experiments.harness import seed_sweep_cells, seed_sweep_report
-    from repro.experiments.runner import run_grid
-
-    cells = seed_sweep_cells(
-        program="greedy", family=family, n=n, fast=fast
+    from repro.api import Experiment
+    from repro.experiments.harness import (
+        SEED_SWEEP_COUNT_FAST,
+        SEED_SWEEP_COUNT_FULL,
+        fast_mode,
+        seed_sweep_report,
     )
-    results = run_grid(cells, strategy=strategy)
+
+    if fast is None:
+        fast = fast_mode()
+    sweep = (
+        Experiment("greedy")
+        .on(family)
+        .sizes(n)
+        .engine("vector")
+        .seeds(SEED_SWEEP_COUNT_FAST if fast else SEED_SWEEP_COUNT_FULL)
+        .strategy(strategy)
+        .run()
+    )
     report = seed_sweep_report(
-        results,
+        sweep.records,
         experiment="E1-seeds",
         claim="simulated greedy MDS ensemble: |DS| within the domination window on every seed",
         value_key="ds_size",
     )
-    for rec in results:
-        if not rec.get("ok"):
+    for rec in sweep:
+        if not rec.ok:
             continue
-        metrics = rec["metrics"]
+        metrics = rec.metrics
         lower = metrics["n"] / (metrics["max_degree"] + 1)
         report.check("ds_lower_bound", metrics["ds_size"] >= lower - 1e-9)
         report.check("ds_nondegenerate", 0 < metrics["ds_size"] <= metrics["n"])

@@ -71,26 +71,37 @@ def run_seed_sweep(
     runner (all seeds as one stacked message plane) and checks the color
     bound on every seed.
     """
-    from repro.experiments.harness import seed_sweep_cells, seed_sweep_report
-    from repro.experiments.runner import run_grid
-
-    cells = seed_sweep_cells(
-        program="color-reduction", family=family, n=n, fast=fast
+    from repro.api import Experiment
+    from repro.experiments.harness import (
+        SEED_SWEEP_COUNT_FAST,
+        SEED_SWEEP_COUNT_FULL,
+        fast_mode,
+        seed_sweep_report,
     )
-    results = run_grid(cells, strategy=strategy)
+
+    if fast is None:
+        fast = fast_mode()
+    sweep = (
+        Experiment("color-reduction")
+        .on(family)
+        .sizes(n)
+        .engine("vector")
+        .seeds(SEED_SWEEP_COUNT_FAST if fast else SEED_SWEEP_COUNT_FULL)
+        .strategy(strategy)
+        .run()
+    )
     report = seed_sweep_report(
-        results,
+        sweep.records,
         experiment="E2-seeds",
         claim="color reduction ensemble: <= Delta + 1 colors on every seed",
         value_key="colors",
     )
-    for rec in results:
-        if not rec.get("ok"):
+    for rec in sweep:
+        if not rec.ok:
             continue
-        metrics = rec["metrics"]
         report.check(
             "colors_le_delta_plus_1",
-            metrics["colors"] <= metrics["max_degree"] + 1,
+            rec.metrics["colors"] <= rec.metrics["max_degree"] + 1,
         )
     return report
 

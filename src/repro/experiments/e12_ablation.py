@@ -152,10 +152,19 @@ def run_strategy_ablation(
     (rounds, messages, bits, outputs-derived sizes) must be identical, and
     only wall-clock may differ (the table reports both).
     """
-    from repro.experiments.harness import seed_sweep_cells
-    from repro.experiments.runner import run_grid
+    from repro.api import Experiment
+    from repro.experiments.harness import (
+        SEED_SWEEP_COUNT_FAST,
+        SEED_SWEEP_COUNT_FULL,
+        fast_mode,
+    )
 
-    cells = seed_sweep_cells(program="greedy", family=family, n=n, fast=fast)
+    if fast is None:
+        fast = fast_mode()
+    seeds = SEED_SWEEP_COUNT_FAST if fast else SEED_SWEEP_COUNT_FULL
+    experiment = (
+        Experiment("greedy").on(family).sizes(n).engine("vector").seeds(seeds)
+    )
     report = ExperimentReport(
         experiment="E12-strategy",
         claim="stacked execution changes wall-clock only, never results",
@@ -164,18 +173,16 @@ def run_strategy_ablation(
     walls = {}
     metrics = {}
     for strategy in ("cell", "batch"):
-        results = run_grid(cells, strategy=strategy)
-        walls[strategy] = sum(r.get("wall_s", 0.0) for r in results)
-        metrics[strategy] = [r.get("metrics") for r in results]
-        report.check(
-            "no_failures", all(bool(r.get("ok")) for r in results)
-        )
+        sweep = experiment.strategy(strategy).run()
+        walls[strategy] = sum(rec.wall_s or 0.0 for rec in sweep)
+        metrics[strategy] = [rec.metrics for rec in sweep]
+        report.check("no_failures", sweep.ok)
     report.check("identical_records", metrics["cell"] == metrics["batch"])
     speedup = walls["cell"] / walls["batch"] if walls["batch"] > 0 else 0.0
     for strategy in ("cell", "batch"):
         report.add_row(
             strategy=strategy,
-            seeds=len(cells),
+            seeds=seeds,
             ok="yes",
             wall_ms=round(walls[strategy] * 1000, 2),
             speedup=round(speedup, 2) if strategy == "batch" else "1.0",

@@ -157,18 +157,19 @@ def seed_sweep_cells(
     experiment modules route it through ``run_grid(strategy="batch")`` so
     all seeds advance as one stacked message plane.
     """
-    from repro.experiments.runner import expand_grid
+    from repro.api import Experiment
 
     if seeds is None:
         if fast is None:
             fast = fast_mode()
         seeds = range(SEED_SWEEP_COUNT_FAST if fast else SEED_SWEEP_COUNT_FULL)
-    return expand_grid(
-        families=[family],
-        sizes=[n],
-        programs=[program],
-        engines=[engine],
-        seeds=list(seeds),
+    return (
+        Experiment(program)
+        .on(family)
+        .sizes(n)
+        .engine(engine)
+        .seeds(list(seeds))
+        .cells()
     )
 
 
@@ -180,11 +181,15 @@ def comparable_records(results: Sequence[Mapping[str, object]]):
     metrics block); wall-clock and batch annotations may differ.  Both
     ``scripts/run_experiments.py --batched`` and
     ``benchmarks/bench_batched.py`` compare through this single
-    definition so the parity contract cannot drift between them.
+    definition so the parity contract cannot drift between them.  Accepts
+    legacy dict records or typed :class:`~repro.api.records.RunRecord`
+    objects.
     """
+    from repro.api.records import as_record_dicts
+
     return [
         {k: v for k, v in rec.items() if k in ("cell", "key", "ok", "metrics")}
-        for rec in results
+        for rec in as_record_dicts(results)
     ]
 
 
@@ -195,7 +200,9 @@ def simulation_wall(results: Sequence[Mapping[str, object]]) -> float:
     both strategies generate each topology exactly once, so this isolates
     the cost the execution strategy controls.
     """
-    return sum(rec.get("wall_s", 0.0) for rec in results)  # type: ignore[misc]
+    from repro.api.records import as_record_dicts
+
+    return sum(rec.get("wall_s", 0.0) for rec in as_record_dicts(results))  # type: ignore[misc]
 
 
 def seed_sweep_report(
@@ -210,8 +217,12 @@ def seed_sweep_report(
     program-specific summary value (``value_key``: e.g. ``ds_size`` for
     the greedy MDS program, ``colors`` for color reduction).  Checks
     recorded: ``no_failures`` and ``all_halted`` on every row; callers add
-    their own claim-specific checks on the raw rows.
+    their own claim-specific checks on the raw rows.  Accepts legacy dict
+    records or typed :class:`~repro.api.records.RunRecord` objects.
     """
+    from repro.api.records import as_record_dicts
+
+    results = as_record_dicts(results)
     columns = ["seed", "n", "Delta", "rounds", "messages", "total_bits"]
     if value_key:
         columns.append(value_key)
@@ -260,18 +271,21 @@ def engine_grid_cells(fast: bool | None = None, seed: int = 7):
     Used by ``scripts/run_experiments.py --quick`` (the ``BENCH_engines``
     artifact), ``python -m repro grid`` defaults, and
     ``benchmarks/bench_engines.py`` — one definition so their numbers are
-    comparable.
+    comparable.  The program axis covers every registered simulation
+    program (all six CONGEST programs since the registry redesign).
     """
-    from repro.experiments.runner import expand_grid
+    from repro.api import Experiment
 
     if fast is None:
         fast = fast_mode()
     sizes = ENGINE_GRID_SIZES_FAST if fast else ENGINE_GRID_SIZES_FULL
-    return expand_grid(
-        families=ENGINE_GRID_FAMILIES,
-        sizes=sizes,
-        engines=ENGINE_GRID_ENGINES,
-        seed=seed,
+    return (
+        Experiment()
+        .on(*ENGINE_GRID_FAMILIES)
+        .sizes(*sizes)
+        .engines(*ENGINE_GRID_ENGINES)
+        .seed(seed)
+        .cells()
     )
 
 
@@ -285,7 +299,12 @@ def engine_grid_report(results: Sequence[Mapping[str, object]]) -> ExperimentRep
     ``engine_parity``
         for each (family, n, program, seed) work item, all engines agree on
         rounds, message count, bit totals and max message size.
+
+    Accepts legacy dict records or typed ``RunRecord`` objects.
     """
+    from repro.api.records import as_record_dicts
+
+    results = as_record_dicts(results)
     report = ExperimentReport(
         experiment="ENGINES",
         claim="pluggable engines: identical metrics, fast-path wall-clock wins",

@@ -3,16 +3,25 @@
 The simulator executes one cell at a time; scaling to many scenarios is the
 runner's job.  A *cell* pins everything needed to reproduce one simulated
 execution — graph family, size, seed, node program, engine — so a grid of
-cells can be expanded up front (:func:`expand_grid`), executed sequentially
-or across ``multiprocessing`` workers (:func:`run_grid`), and aggregated
-into one JSON document (:func:`results_payload` / :func:`write_results`).
+cells can be expanded up front, executed sequentially or across
+``multiprocessing`` workers (:func:`run_grid`), streamed as results arrive
+(``run_grid(..., stream=True)`` / :func:`iter_grid_records`), and
+aggregated into one JSON document (:func:`results_payload` /
+:func:`write_results`).
+
+Programs are resolved through the declarative registry
+(:mod:`repro.api.registry`): a cell's ``program`` axis names a
+:class:`~repro.api.registry.ProgramSpec`, which carries the driver, the
+metrics summary and the batched-execution recipe.  All registered
+programs — including ``lemma310``, ``rounding-exec``, ``tree-sum`` and the
+``cds`` composite — are grid-drivable; nothing is hard-coded here.
 
 Design points:
 
 * **Determinism.** Cells carry their own seed; a grid run with ``jobs=1``
   is bit-for-bit reproducible, and worker parallelism cannot reorder the
   output (results are returned in cell order regardless of completion
-  order).
+  order; only the explicit streaming path exposes completion order).
 * **Structured failures.** A cell that raises — bad family, simulation
   limit, oversized message — produces an ``ok=False`` record with the
   exception type and message instead of tearing down the whole grid;
@@ -34,31 +43,46 @@ Design points:
   (ineligible program, mixed generated sizes, any error) transparently
   fall back to the per-cell path, so the strategy only ever changes
   wall-clock, never records.
+* **Streaming.** Execution is organized as *dispatch units* (one cell, or
+  one stacked batch group); the streaming iterators yield each unit's
+  records the moment it completes — sequentially as the loop advances,
+  across workers via the pool's unordered result queue — so callers can
+  render progress or pipeline downstream work while the grid is still
+  running.
+
+The typed record objects live in :mod:`repro.api.records`; the functions
+here keep returning the legacy dict shape for compatibility (it is also
+the JSON artifact format).  :func:`expand_grid` and :func:`run_cell` are
+deprecation shims for the :class:`repro.api.Experiment` builder surface.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import asdict, dataclass
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.api.records import RunRecord, as_record_dicts
+from repro.api.registry import (
+    available_programs,
+    batchable_programs,
+    program_spec,
+)
 from repro.congest.engine import available_engines
 from repro.congest.network import Network
-from repro.congest.programs import (
-    run_bfs_forest,
-    run_color_reduction,
-    run_distributed_greedy,
-)
-from repro.congest.programs.color_reduction import ColorReductionProgram
-from repro.congest.programs.greedy_mds import DistributedGreedyProgram
-from repro.congest.simulator import SimulationResult
-from repro.errors import (
-    UnknownEngineError,
-    UnknownProgramError,
-    UnknownStrategyError,
-)
+from repro.errors import UnknownEngineError, UnknownStrategyError
 from repro.graphs.suite import suite_instance
 
 __all__ = [
@@ -67,9 +91,11 @@ __all__ = [
     "available_strategies",
     "batchable_programs",
     "expand_grid",
+    "iter_grid_records",
     "run_cell",
     "run_batched_group",
     "run_grid",
+    "run_grid_records",
     "summarize_results",
     "results_payload",
     "write_results",
@@ -101,81 +127,8 @@ class GridCell:
         return (self.family, self.n, self.program, self.engine)
 
 
-def _drive_bfs(network: Network, engine: str) -> SimulationResult:
-    return run_bfs_forest(None, roots=[0], network=network, engine=engine)[-1]
-
-
-def _drive_greedy(network: Network, engine: str) -> SimulationResult:
-    return run_distributed_greedy(None, network=network, engine=engine)[-1]
-
-
-def _drive_color(network: Network, engine: str) -> SimulationResult:
-    return run_color_reduction(None, network=network, engine=engine)[-1]
-
-
-#: Named node-program drivers a cell can select.  Each takes
-#: ``(network, engine)`` and returns the :class:`SimulationResult` —
-#: network-only signatures so shared-memory reconstructions plug in
-#: without a ``networkx`` graph.
-_PROGRAMS: Dict[str, Callable[[Network, str], SimulationResult]] = {
-    "bfs": _drive_bfs,
-    "greedy": _drive_greedy,
-    "color-reduction": _drive_color,
-}
-
-
-def _summary_bfs(sim: SimulationResult) -> Dict[str, object]:
-    roots = sim.output_map("root")
-    return {"reached": sum(1 for r in roots.values() if r != -1)}
-
-
-def _summary_greedy(sim: SimulationResult) -> Dict[str, object]:
-    return {"ds_size": sum(1 for v in sim.output_map("in_ds").values() if v)}
-
-
-def _summary_color(sim: SimulationResult) -> Dict[str, object]:
-    return {"colors": len(set(sim.output_map("color").values()))}
-
-
-#: Program-specific one-line result summaries, computed from node outputs
-#: only — so the per-cell and batched paths produce identical values.
-_SUMMARIES: Dict[str, Callable[[SimulationResult], Dict[str, object]]] = {
-    "bfs": _summary_bfs,
-    "greedy": _summary_greedy,
-    "color-reduction": _summary_color,
-}
-
-
-@dataclass(frozen=True)
-class _BatchSpec:
-    """How to instantiate one instance of a batchable program family."""
-
-    factory: type
-    max_rounds: Callable[[Network], int]
-
-
-#: Programs the ``batch`` strategy can stack (same entry points as the
-#: per-cell drivers above — same factory, inputs and round limits).  BFS is
-#: absent because it has no vector kernel; the Lemma 3.10 program would be
-#: rejected at run time (its kernel is not ``stackable``).
-_BATCH: Dict[str, _BatchSpec] = {
-    "greedy": _BatchSpec(
-        factory=DistributedGreedyProgram,
-        max_rounds=lambda net: 8 * net.n + 16,
-    ),
-    "color-reduction": _BatchSpec(
-        factory=ColorReductionProgram,
-        max_rounds=lambda net: net.n + 4,
-    ),
-}
-
 #: Execution strategies :func:`run_grid` accepts.
 STRATEGIES = ("cell", "batch")
-
-
-def available_programs() -> List[str]:
-    """Sorted names of the node programs the runner can drive."""
-    return sorted(_PROGRAMS)
 
 
 def available_strategies() -> List[str]:
@@ -183,12 +136,7 @@ def available_strategies() -> List[str]:
     return list(STRATEGIES)
 
 
-def batchable_programs() -> List[str]:
-    """Sorted names of the programs the ``batch`` strategy can stack."""
-    return sorted(_BATCH)
-
-
-def expand_grid(
+def _expand_cells(
     families: Sequence[str],
     sizes: Sequence[int],
     programs: Sequence[str] | None = None,
@@ -199,7 +147,9 @@ def expand_grid(
     """Cartesian expansion of the grid axes into concrete cells.
 
     ``seeds`` sweeps multiple topologies per (family, size) — the axis the
-    ``batch`` strategy stacks; it defaults to the single ``seed``.  Unknown
+    ``batch`` strategy stacks; it defaults to the single ``seed``.  The
+    ``programs`` axis defaults to every registered simulation program
+    (composites such as ``cds`` must be requested by name).  Unknown
     program or engine names fail fast with a structured error — one bad
     axis value would otherwise poison every cell it touches.
     """
@@ -207,8 +157,7 @@ def expand_grid(
     engines = list(engines) if engines is not None else available_engines()
     seed_list = list(seeds) if seeds is not None else [seed]
     for program in programs:
-        if program not in _PROGRAMS:
-            raise UnknownProgramError(program, available_programs())
+        program_spec(program)  # raises UnknownProgramError on a bad name
     registered = set(available_engines())
     for engine in engines:
         if engine not in registered:
@@ -223,69 +172,94 @@ def expand_grid(
     ]
 
 
+def expand_grid(
+    families: Sequence[str],
+    sizes: Sequence[int],
+    programs: Sequence[str] | None = None,
+    engines: Sequence[str] | None = None,
+    seed: int = 7,
+    seeds: Sequence[int] | None = None,
+) -> List[GridCell]:
+    """Deprecated: build grids with :class:`repro.api.Experiment` instead.
+
+    Identical behaviour to the builder's ``.cells()`` — kept as a shim so
+    existing callers and artifacts stay valid (removal planned for 2.0).
+    """
+    warnings.warn(
+        "expand_grid() is deprecated; use repro.api.Experiment(...).cells()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _expand_cells(
+        families, sizes, programs=programs, engines=engines, seed=seed, seeds=seeds
+    )
+
+
 def build_network(cell: GridCell) -> Network:
     """Generate the cell's graph and compile it into a CONGEST network."""
     inst = suite_instance(cell.family, cell.n, seed=cell.seed)
     return Network.congest(inst.graph)
 
 
-def _metrics(cell: GridCell, network: Network, sim: SimulationResult) -> Dict[str, object]:
-    """The metrics block of one success record (shared by both strategies)."""
-    metrics: Dict[str, object] = {
-        "n": network.n,
-        "max_degree": network.max_degree,
-        "rounds": sim.rounds,
-        "total_messages": sim.total_messages,
-        "total_bits": sim.total_bits,
-        "max_message_bits": sim.max_message_bits,
-        "all_halted": sim.all_halted,
-    }
-    summarize = _SUMMARIES.get(cell.program)
-    if summarize is not None:
-        metrics.update(summarize(sim))
-    return metrics
-
-
-def run_cell(
+def _run_cell_record(
     cell: GridCell, network: Optional[Network] = None
-) -> Dict[str, object]:
+) -> RunRecord:
     """Execute one cell; never raises — failures become structured records.
 
     ``network`` short-circuits graph generation when the caller already
     holds the cell's topology (sequential reuse or a shared-memory
     reconstruction); the timed section covers simulation only either way.
     """
-    record: Dict[str, object] = {"cell": asdict(cell), "key": cell.key}
     try:
-        if cell.program not in _PROGRAMS:
-            raise UnknownProgramError(cell.program, available_programs())
+        spec = program_spec(cell.program)
         if network is None:
             network = build_network(cell)
         start = time.perf_counter()
-        sim = _PROGRAMS[cell.program](network, cell.engine)
+        outcome = spec.run(network, cell.engine)
         wall = time.perf_counter() - start
     except Exception as exc:  # noqa: BLE001 - the grid must survive any cell
-        record["ok"] = False
-        record["error"] = {"type": type(exc).__name__, "message": str(exc)}
-        return record
-    record["ok"] = True
-    record["wall_s"] = wall
-    record["metrics"] = _metrics(cell, network, sim)
-    return record
+        return RunRecord(
+            cell=cell,
+            ok=False,
+            error={"type": type(exc).__name__, "message": str(exc)},
+        )
+    return RunRecord(
+        cell=cell,
+        ok=True,
+        wall_s=wall,
+        metrics=spec.cell_metrics(network, outcome),
+    )
 
 
-def run_batched_group(
+def run_cell(
+    cell: GridCell, network: Optional[Network] = None
+) -> Dict[str, object]:
+    """Deprecated: run cells through :class:`repro.api.Experiment`.
+
+    Kept as a shim returning the legacy dict record (removal planned for
+    2.0); the typed equivalent is a :class:`~repro.api.records.RunRecord`.
+    """
+    warnings.warn(
+        "run_cell() is deprecated; use repro.api.Experiment "
+        "(records expose .to_dict() for the legacy shape)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_cell_record(cell, network=network).to_dict()
+
+
+def _run_batched_group_records(
     cells: Sequence[GridCell],
     networks: Optional[Sequence[Optional[Network]]] = None,
-) -> List[Dict[str, object]]:
+) -> List[RunRecord]:
     """Execute one batch group (same family/n/program/engine, many seeds)
     as a single stacked run; fall back to per-cell execution on any error.
 
-    Success records are shaped exactly like :func:`run_cell`'s — identical
-    ``metrics`` blocks (the stacked-plane parity guarantee) plus a
-    ``batch`` annotation recording the stack width and the group's shared
-    wall-clock.  ``wall_s`` is the group wall divided evenly across the
-    cells so per-engine wall totals stay meaningful in summaries.
+    Success records carry identical ``metrics`` blocks to the per-cell
+    path (the stacked-plane parity guarantee) plus a ``batch`` annotation
+    recording the stack width and the group's shared wall-clock.
+    ``wall_s`` is the group wall divided evenly across the cells so
+    per-engine wall totals stay meaningful in summaries.
     """
     from repro.congest.engine import run_stacked
 
@@ -297,56 +271,43 @@ def run_batched_group(
         for i, cell in enumerate(cells):
             if nets[i] is None:
                 nets[i] = build_network(cell)
-        spec = _BATCH[cells[0].program]
+        spec = program_spec(cells[0].program)
+        inputs = (
+            [spec.batch_inputs(net) for net in nets]
+            if spec.batch_inputs is not None
+            else None
+        )
         start = time.perf_counter()
         sims = run_stacked(
-            nets, spec.factory, max_rounds=spec.max_rounds(nets[0])
+            nets,
+            spec.batch_factory,
+            inputs=inputs,
+            max_rounds=spec.batch_max_rounds(nets[0]),
         )
         wall = time.perf_counter() - start
     except Exception:  # noqa: BLE001 - stacking is an optimization only
-        return [run_cell(cell, network=net) for cell, net in zip(cells, nets)]
-    records = []
+        return [_run_cell_record(cell, network=net) for cell, net in zip(cells, nets)]
     share = wall / max(1, len(cells))
-    for cell, network, sim in zip(cells, nets, sims):
-        records.append(
-            {
-                "cell": asdict(cell),
-                "key": cell.key,
-                "ok": True,
-                "wall_s": share,
-                "batch": {"k": len(cells), "group_wall_s": wall},
-                "metrics": _metrics(cell, network, sim),
-            }
+    return [
+        RunRecord(
+            cell=cell,
+            ok=True,
+            wall_s=share,
+            batch={"k": len(cells), "group_wall_s": wall},
+            metrics=spec.cell_metrics(network, sim),
         )
-    return records
+        for cell, network, sim in zip(cells, nets, sims)
+    ]
 
 
-def _run_cell_task(task) -> Dict[str, object]:
-    """Pool worker: attach the published topology (if any) and run."""
-    cell, handle = task
-    if handle is None:
-        return run_cell(cell)
-    from repro.experiments.sharedmem import attach_network
-
-    try:
-        network = attach_network(handle)
-    except Exception:  # pragma: no cover - attach races are host-specific
-        network = None  # fall back to regenerating in the worker
-    return run_cell(cell, network=network)
-
-
-def _run_batch_task(task) -> List[Dict[str, object]]:
-    """Pool worker: attach a published stacked topology group and run it."""
-    cells, handle = task
-    networks: Optional[List[Optional[Network]]] = None
-    if handle is not None:
-        from repro.experiments.sharedmem import attach_stacked
-
-        try:
-            networks = list(attach_stacked(handle))
-        except Exception:  # pragma: no cover - attach races are host-specific
-            networks = None
-    return run_batched_group(cells, networks=networks)
+def run_batched_group(
+    cells: Sequence[GridCell],
+    networks: Optional[Sequence[Optional[Network]]] = None,
+) -> List[Dict[str, object]]:
+    """Legacy dict-record wrapper around the stacked group executor."""
+    return [
+        rec.to_dict() for rec in _run_batched_group_records(cells, networks=networks)
+    ]
 
 
 def _batch_plan(
@@ -355,16 +316,17 @@ def _batch_plan(
     """Partition cell indices into dispatch units for ``strategy="batch"``.
 
     Returns ``("batch", indices)`` units for stackable groups — vector
-    engine, batchable program, ≥ 2 cells sharing a
+    engine, registry-batchable program, ≥ 2 cells sharing a
     :attr:`GridCell.group_key`, chunked to ``batch_size`` (0 = unlimited)
     — and ``("cell", [index])`` units for everything else.  Units are
     emitted in first-occurrence order; record order is restored by index
     afterwards, so the strategy cannot reorder results.
     """
+    stackable = set(batchable_programs())
     groups: Dict[tuple, List[int]] = {}
     order: List[tuple] = []
     for i, cell in enumerate(cells):
-        batchable = cell.engine == "vector" and cell.program in _BATCH
+        batchable = cell.engine == "vector" and cell.program in stackable
         key = ("group",) + cell.group_key if batchable else ("solo", i)
         if key not in groups:
             groups[key] = []
@@ -386,62 +348,95 @@ def _batch_plan(
     return plan
 
 
-def run_grid(
-    cells: Iterable[GridCell],
-    jobs: int = 1,
-    strategy: str = "cell",
-    batch_size: int = 0,
-) -> List[Dict[str, object]]:
-    """Run every cell, optionally across ``jobs`` worker processes.
-
-    ``strategy="cell"`` executes one simulation per cell;
-    ``strategy="batch"`` stacks each group of vector-engine seed-sweep
-    cells into one multi-instance run (``batch_size`` caps the stack
-    width; 0 means one stack per group).  Results come back in cell order
-    under every combination, and each unique (family, n, seed) topology is
-    generated exactly once — reused in-process sequentially, published
-    through shared memory to workers.
-    """
-    cells = list(cells)
-    if strategy not in STRATEGIES:
-        raise UnknownStrategyError(strategy, available_strategies())
+def _plan_units(
+    cells: Sequence[GridCell], strategy: str, batch_size: int
+) -> List[Tuple[str, List[int]]]:
+    """The dispatch units of one grid run under ``strategy``."""
     if strategy == "batch":
-        return _run_batched(cells, jobs, batch_size)
-    return _run_cells(cells, jobs)
+        return _batch_plan(cells, batch_size)
+    return [("cell", [i]) for i in range(len(cells))]
 
 
-def _run_batched(
-    cells: List[GridCell], jobs: int, batch_size: int
-) -> List[Dict[str, object]]:
-    """The ``batch`` strategy: stack seed-sweep groups, per-cell the rest."""
-    plan = _batch_plan(cells, batch_size)
-    results: List[Optional[Dict[str, object]]] = [None] * len(cells)
+# -- dispatch-unit execution ---------------------------------------------------
 
-    if jobs <= 1 or len(plan) <= 1:
-        networks: Dict[tuple, Optional[Network]] = {}
 
-        def net_for(cell: GridCell) -> Optional[Network]:
-            key = cell.topology_key
-            if key not in networks:
-                try:
-                    networks[key] = build_network(cell)
-                except Exception:  # noqa: BLE001 - recorded per cell later
-                    networks[key] = None
-            return networks[key]
+def _run_cell_task(task) -> List[RunRecord]:
+    """Pool worker: attach the published topology (if any) and run."""
+    cell, handle = task
+    network = None
+    if handle is not None:
+        from repro.experiments.sharedmem import attach_network
 
-        for kind, indices in plan:
-            if kind == "cell":
-                for i in indices:
-                    results[i] = run_cell(cells[i], network=net_for(cells[i]))
-            else:
-                group = [cells[i] for i in indices]
-                records = run_batched_group(
-                    group, networks=[net_for(c) for c in group]
-                )
-                for i, rec in zip(indices, records):
-                    results[i] = rec
-        return results  # type: ignore[return-value]
+        try:
+            network = attach_network(handle)
+        except Exception:  # pragma: no cover - attach races are host-specific
+            network = None  # fall back to regenerating in the worker
+    return [_run_cell_record(cell, network=network)]
 
+
+def _run_batch_task(task) -> List[RunRecord]:
+    """Pool worker: attach a published stacked topology group and run it."""
+    cells, handle = task
+    networks: Optional[List[Optional[Network]]] = None
+    if handle is not None:
+        from repro.experiments.sharedmem import attach_stacked
+
+        try:
+            networks = list(attach_stacked(handle))
+        except Exception:  # pragma: no cover - attach races are host-specific
+            networks = None
+    return _run_batched_group_records(cells, networks=networks)
+
+
+def _run_indexed_unit(task) -> Tuple[int, List[RunRecord]]:
+    """Pool worker for streaming dispatch: one plan unit per task.
+
+    Returns ``(unit_index, records)`` so the parent can match unordered
+    completions back to plan positions.
+    """
+    index, (kind, payload, handle) = task
+    if kind == "cell":
+        return index, _run_cell_task((payload, handle))
+    return index, _run_batch_task((payload, handle))
+
+
+def _iter_units_sequential(
+    cells: List[GridCell], plan: List[Tuple[str, List[int]]]
+) -> Iterator[Tuple[List[int], List[RunRecord]]]:
+    """In-process execution, one unit at a time, topologies cached by key."""
+    networks: Dict[tuple, Optional[Network]] = {}
+
+    def net_for(cell: GridCell) -> Optional[Network]:
+        key = cell.topology_key
+        if key not in networks:
+            try:
+                networks[key] = build_network(cell)
+            except Exception:  # noqa: BLE001 - recorded per cell later
+                networks[key] = None
+        return networks[key]
+
+    for kind, indices in plan:
+        if kind == "cell":
+            cell = cells[indices[0]]
+            yield indices, [_run_cell_record(cell, network=net_for(cell))]
+        else:
+            group = [cells[i] for i in indices]
+            yield indices, _run_batched_group_records(
+                group, networks=[net_for(c) for c in group]
+            )
+
+
+def _iter_units_pool(
+    cells: List[GridCell],
+    plan: List[Tuple[str, List[int]]],
+    jobs: int,
+) -> Iterator[Tuple[List[int], List[RunRecord]]]:
+    """Worker-pool execution: publish topologies once, stream completions.
+
+    Units are consumed through ``imap_unordered`` — the pool's result
+    queue — so each unit's records surface the moment its worker finishes,
+    not when the whole map returns.
+    """
     import multiprocessing
 
     from repro.experiments.sharedmem import SharedStackedTopology, SharedTopology
@@ -476,77 +471,128 @@ def _run_batched(
                     handle = None
                 tasks.append(("batch", group, handle))
         with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            unit_results = pool.map(_run_unit_task, tasks)
+            for index, records in pool.imap_unordered(
+                _run_indexed_unit, list(enumerate(tasks))
+            ):
+                yield plan[index][1], records
     finally:
         for topology in published.values():
             if topology is not None:
                 topology.unlink()
         for stack in stacks:
             stack.unlink()
-    for (kind, indices), records in zip(plan, unit_results):
-        for i, rec in zip(indices, records):
-            results[i] = rec
+
+
+def _iter_units(
+    cells: List[GridCell],
+    jobs: int,
+    strategy: str,
+    batch_size: int,
+) -> Iterator[Tuple[List[int], List[RunRecord]]]:
+    """Yield ``(cell_indices, records)`` per dispatch unit as it completes."""
+    if strategy not in STRATEGIES:
+        raise UnknownStrategyError(strategy, available_strategies())
+    plan = _plan_units(cells, strategy, batch_size)
+    if jobs <= 1 or len(plan) <= 1:
+        yield from _iter_units_sequential(cells, plan)
+    else:
+        yield from _iter_units_pool(cells, plan, jobs)
+
+
+def iter_grid_records(
+    cells: Iterable[GridCell],
+    jobs: int = 1,
+    strategy: str = "cell",
+    batch_size: int = 0,
+) -> Iterator[RunRecord]:
+    """Stream typed records in *completion* order, as units finish.
+
+    The record set is identical to :func:`run_grid_records`'s — only the
+    order differs (and only under worker parallelism or batching); sort by
+    cell position to restore the deterministic order.  Bad axis values
+    raise eagerly, at the call — not on first iteration — so the error
+    surfaces at the faulty call site even if the iterator is handed off
+    or never consumed.
+    """
+    cells = list(cells)
+    if strategy not in STRATEGIES:
+        raise UnknownStrategyError(strategy, available_strategies())
+
+    def generate() -> Iterator[RunRecord]:
+        for _indices, records in _iter_units(cells, jobs, strategy, batch_size):
+            yield from records
+
+    return generate()
+
+
+def run_grid_records(
+    cells: Iterable[GridCell],
+    jobs: int = 1,
+    strategy: str = "cell",
+    batch_size: int = 0,
+) -> List[RunRecord]:
+    """Run every cell; typed records in deterministic cell order.
+
+    ``strategy="cell"`` executes one simulation per cell;
+    ``strategy="batch"`` stacks each group of vector-engine seed-sweep
+    cells into one multi-instance run (``batch_size`` caps the stack
+    width; 0 means one stack per group).  Results come back in cell order
+    under every combination, and each unique (family, n, seed) topology is
+    generated exactly once — reused in-process sequentially, published
+    through shared memory to workers.
+    """
+    cells = list(cells)
+    results: List[Optional[RunRecord]] = [None] * len(cells)
+    for indices, records in _iter_units(cells, jobs, strategy, batch_size):
+        for i, record in zip(indices, records):
+            results[i] = record
     return results  # type: ignore[return-value]
 
 
-def _run_unit_task(task) -> List[Dict[str, object]]:
-    """Pool worker for the batch strategy: one plan unit per task."""
-    kind, payload, handle = task
-    if kind == "cell":
-        return [_run_cell_task((payload, handle))]
-    return _run_batch_task((payload, handle))
+def run_grid(
+    cells: Iterable[GridCell],
+    jobs: int = 1,
+    strategy: str = "cell",
+    batch_size: int = 0,
+    stream: bool = False,
+):
+    """Run every cell, optionally across ``jobs`` worker processes.
 
-
-def _run_cells(cells: List[GridCell], jobs: int) -> List[Dict[str, object]]:
-    if jobs <= 1 or len(cells) <= 1:
-        networks: Dict[tuple, Optional[Network]] = {}
-        results = []
-        for cell in cells:
-            key = cell.topology_key
-            if key not in networks:
-                try:
-                    networks[key] = build_network(cell)
-                except Exception:  # noqa: BLE001 - recorded per cell below
-                    networks[key] = None
-            results.append(run_cell(cell, network=networks[key]))
-        return results
-
-    import multiprocessing
-
-    from repro.experiments.sharedmem import SharedTopology
-
-    published: Dict[tuple, SharedTopology] = {}
-    tasks = []
-    try:
-        for cell in cells:
-            key = cell.topology_key
-            if key not in published:
-                try:
-                    published[key] = SharedTopology.publish(build_network(cell))
-                except Exception:  # noqa: BLE001 - cell records the failure
-                    published[key] = None  # type: ignore[assignment]
-            topology = published[key]
-            tasks.append((cell, topology.handle if topology else None))
-        with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
-            return pool.map(_run_cell_task, tasks)
-    finally:
-        for topology in published.values():
-            if topology is not None:
-                topology.unlink()
+    Returns legacy dict records (the JSON artifact shape) in cell order.
+    With ``stream=True`` it instead returns an iterator that yields each
+    record as its dispatch unit completes — completion order, incremental
+    — for progress rendering and pipelined consumers; the record *set* is
+    identical either way.  Typed-record equivalents:
+    :func:`run_grid_records` / :func:`iter_grid_records`.
+    """
+    if stream:
+        return (
+            rec.to_dict()
+            for rec in iter_grid_records(
+                cells, jobs=jobs, strategy=strategy, batch_size=batch_size
+            )
+        )
+    return [
+        rec.to_dict()
+        for rec in run_grid_records(
+            cells, jobs=jobs, strategy=strategy, batch_size=batch_size
+        )
+    ]
 
 
 def summarize_results(results: Sequence[Mapping[str, object]]) -> Dict[str, object]:
     """Aggregate a grid run: totals per engine plus cross-engine speedups.
 
-    The ``speedup_vs_reference`` map reports, for every non-reference
-    engine, total-reference-wall / total-engine-wall over the cells where
-    *both* engines succeeded on the same (family, n, program, seed) work
-    item — the apples-to-apples wall-clock ratio.
+    Accepts legacy dict records or typed :class:`RunRecord` objects.  The
+    ``speedup_vs_reference`` map reports, for every non-reference engine,
+    total-reference-wall / total-engine-wall over the cells where *both*
+    engines succeeded on the same (family, n, program, seed) work item —
+    the apples-to-apples wall-clock ratio.
     """
     per_engine: Dict[str, Dict[str, float]] = {}
     walls: Dict[tuple, Dict[str, float]] = {}
     failures = []
-    for rec in results:
+    for rec in as_record_dicts(results):
         cell = rec["cell"]  # type: ignore[index]
         engine = cell["engine"]  # type: ignore[index]
         agg = per_engine.setdefault(
@@ -589,7 +635,7 @@ def results_payload(
         "generator": "repro.experiments.runner",
         "meta": dict(meta or {}),
         "summary": summarize_results(results),
-        "cells": list(results),
+        "cells": as_record_dicts(results),
     }
 
 

@@ -18,13 +18,18 @@ from check_docs_links import check, doc_files, github_slug  # noqa: E402
 
 
 def test_docs_suite_exists():
-    for name in ("architecture.md", "experiments.md", "engines.md"):
+    for name in ("api.md", "architecture.md", "experiments.md", "engines.md"):
         assert (ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
 
 def test_readme_links_docs_suite():
     readme = (ROOT / "README.md").read_text()
-    for name in ("docs/architecture.md", "docs/engines.md", "docs/experiments.md"):
+    for name in (
+        "docs/api.md",
+        "docs/architecture.md",
+        "docs/engines.md",
+        "docs/experiments.md",
+    ):
         assert name in readme, f"README does not link {name}"
 
 
@@ -35,7 +40,9 @@ def test_no_broken_intra_repo_links():
 
 def test_link_checker_sees_the_docs():
     names = {p.name for p in doc_files(ROOT)}
-    assert {"README.md", "architecture.md", "experiments.md", "engines.md"} <= names
+    assert {
+        "README.md", "api.md", "architecture.md", "experiments.md", "engines.md",
+    } <= names
 
 
 def test_slugging_matches_github_conventions():
@@ -84,3 +91,17 @@ def test_no_tracked_pycache(tmp_path):
         check=False,
     )
     assert tracked.stdout.strip() == "", "compiled bytecode is tracked again"
+
+
+def test_api_doc_covers_the_surface():
+    """docs/api.md documents the spec fields, lifecycle and streaming."""
+    api_doc = (ROOT / "docs" / "api.md").read_text()
+    for needle in (
+        "ProgramSpec",
+        "Builder lifecycle",
+        "Streaming semantics",
+        "Deprecation policy",
+        "batch_factory",
+        "stream()",
+    ):
+        assert needle in api_doc, f"docs/api.md lost section: {needle!r}"

@@ -50,3 +50,12 @@ def test_congest_simulation(capsys):
     out = capsys.readouterr().out
     assert "distributed run" in out
     assert "decisions identical: True" in out
+
+
+def test_experiment_api(capsys):
+    run_example("experiment_api.py", [30, 3])
+    out = capsys.readouterr().out
+    assert "registered programs" in out
+    assert "negotiated strategy: batch" in out
+    assert "streaming a BFS grid" in out
+    assert "composite spec 'cds'" in out
