@@ -12,8 +12,12 @@ Result parity is asserted *before* the speedup — every per-seed metrics
 block must be identical between the strategies — so a correctness
 regression can never hide behind a timing win.  A second target times the
 color-reduction sweep (lockstep termination, n rounds for every seed) for
-the same bar at a lower margin, and a third exercises ``batch_size``
-chunking.
+the same bar at a lower margin, a third exercises ``batch_size``
+chunking, and a fourth is the **ragged bar**: a mixed-size 50-instance
+sweep (sizes spanning an order of magnitude) stacked as one ragged plane
+must be ≥ 3x faster than its per-cell path — the margin is lower than
+the uniform bar because the stacked loop runs as many rounds as the
+*largest* instance needs while per-cell work shrinks with size.
 
 Run with::
 
@@ -23,6 +27,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import Experiment
 from repro.experiments.harness import (
     comparable_records as _comparable,
     seed_sweep_cells,
@@ -35,13 +40,18 @@ BATCHED_SPEEDUP_BAR = 5.0
 #: Color reduction stacks perfectly (lockstep rounds) but runs fewer
 #: numpy ops per round, so the dispatch-overhead win is smaller.
 COLOR_SPEEDUP_BAR = 2.0
+#: The ragged bar: a mixed-size 50-instance sweep stacked as one ragged
+#: plane vs per-cell (the stacked loop pays the largest instance's round
+#: count, so the margin is below the uniform bar).
+RAGGED_SPEEDUP_BAR = 3.0
+#: Mixed sizes spanning an order of magnitude; 10 seeds each = 50 cells.
+RAGGED_SIZES = (20, 40, 60, 100, 150)
 
 SWEEP_SEEDS = list(range(50))
 
 
-def _sweep(program: str, family: str, n: int, batch_size: int = 0):
-    """Run one sweep under both strategies; return (records, walls)."""
-    cells = seed_sweep_cells(program=program, family=family, n=n, seeds=SWEEP_SEEDS)
+def _shootout(cells, batch_size: int = 0):
+    """Run one cell set under both strategies; return the best-of-3 walls."""
     best: dict = {}
     for _ in range(3):  # best-of-3: measure the strategy, not the scheduler
         for strategy in ("cell", "batch"):
@@ -50,6 +60,12 @@ def _sweep(program: str, family: str, n: int, batch_size: int = 0):
             if strategy not in best or wall < best[strategy][1]:
                 best[strategy] = (records, wall)
     return best
+
+
+def _sweep(program: str, family: str, n: int, batch_size: int = 0):
+    """Uniform seed sweep under both strategies (the PR 3 workloads)."""
+    cells = seed_sweep_cells(program=program, family=family, n=n, seeds=SWEEP_SEEDS)
+    return _shootout(cells, batch_size=batch_size)
 
 
 def bench_batched_greedy_50_seeds(benchmark):
@@ -126,6 +142,54 @@ def bench_batched_chunked(benchmark):
             strategy="batch",
             batch_size=10,
         ),
+        iterations=1,
+        rounds=1,
+        warmup_rounds=0,
+    )
+
+
+def _ragged_cells():
+    return (
+        Experiment("greedy")
+        .on("gnp")
+        .sizes(*RAGGED_SIZES)
+        .engine("vector")
+        .seeds(len(SWEEP_SEEDS) // len(RAGGED_SIZES))
+        .cells()
+    )
+
+
+def bench_ragged_mixed_size_50_instances(benchmark):
+    """The ragged bar: 50 mixed-size instances as one plane, >= 3x per-cell.
+
+    Every instance of the group is a different (size, seed) topology —
+    n in {20..150} — so this is the workload uniform stacking could never
+    batch; parity is asserted record for record against the per-cell
+    vector path before the speedup is measured.
+    """
+    cells = _ragged_cells()
+    assert len(cells) == 50
+    best = _shootout(cells)
+    cell_records, cell_wall = best["cell"]
+    batch_records, batch_wall = best["batch"]
+    assert _comparable(cell_records) == _comparable(batch_records), (
+        "ragged stacked records diverged from per-cell records"
+    )
+    assert all(rec["ok"] for rec in batch_records)
+    # The whole mixed-size group stacks: one ragged plane of width 50.
+    assert sum(1 for rec in batch_records if "batch" in rec) == len(cells)
+    assert {rec["batch"]["k"] for rec in batch_records if "batch" in rec} == {50}
+    speedup = cell_wall / batch_wall
+    print(
+        f"\n50-instance ragged greedy gnp (n in {list(RAGGED_SIZES)}): cell "
+        f"{cell_wall * 1000:.1f}ms, batch {batch_wall * 1000:.1f}ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= RAGGED_SPEEDUP_BAR, (
+        f"ragged plane only {speedup:.2f}x faster, bar is {RAGGED_SPEEDUP_BAR}x"
+    )
+    benchmark.pedantic(
+        lambda: run_grid(_ragged_cells(), strategy="batch"),
         iterations=1,
         rounds=1,
         warmup_rounds=0,

@@ -12,12 +12,15 @@ Commands
 simulation engine (``fast`` flat-array default, ``reference`` baseline,
 ``vector`` numpy message plane); ``grid`` additionally takes ``--jobs``
 for shared-memory multiprocessing workers, ``--seeds`` for seed-ensemble
-sweeps, ``--strategy batch`` to execute those sweeps as stacked
-multi-instance message planes (``--batch-size`` caps the stack width,
-``auto`` negotiates per program) and ``--stream`` to print each record as
-a JSON line the moment it finishes (``--quick`` runs a small
-self-contained batched smoke grid).  The ``grid`` command is a thin shell
-over :class:`repro.api.Experiment`; its ``--programs`` axis accepts every
+sweeps, ``--strategy batch`` to execute sweeps as stacked multi-instance
+message planes — mixed ``--sizes`` stack too, as one *ragged* plane
+(``--batch-size`` caps the stack width, ``auto`` negotiates per program)
+— and ``--stream`` to print each record as a JSON line the moment it
+finishes: inside a stacked group, each record surfaces at its instance's
+termination, so early finishers of a ragged group print while larger
+siblings still run (``--quick`` runs a small self-contained mixed-size
+batched smoke grid).  The ``grid`` command is a thin shell over
+:class:`repro.api.Experiment`; its ``--programs`` axis accepts every
 registered program, including ``lemma310``, ``rounding-exec``,
 ``tree-sum`` and the ``cds`` composite.
 
@@ -177,9 +180,10 @@ def cmd_grid(args) -> int:
 
     if args.quick:
         # A small self-contained smoke grid exercising the batched path:
-        # two families, one size, the stackable programs, a seed ensemble.
+        # two families, *mixed* sizes (so `--strategy batch` stacks a
+        # ragged plane), the stackable programs, a seed ensemble.
         families_list = ["gnp", "tree"]
-        sizes = [60]
+        sizes = [40, 60]
         programs = batchable_programs()
         engines = ["vector"]
         seeds = list(range(5))
@@ -284,9 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument(
         "--strategy", default="cell", choices=["cell", "batch", "auto"],
         help="cell = one simulation per cell; batch = stack vector-engine "
-        "seed sweeps into one multi-instance message plane; auto = "
-        "negotiate per the registry (batch exactly when a stackable "
-        "seed sweep is present)",
+        "sweeps (seeds and mixed sizes alike, as one ragged multi-instance "
+        "message plane); auto = negotiate per the registry (batch exactly "
+        "when a stackable multi-instance sweep is present)",
     )
     p_grid.add_argument(
         "--batch-size", type=int, default=0,
@@ -295,11 +299,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument(
         "--stream", action="store_true",
         help="print each record as a JSON line the moment it finishes "
-        "(completion order), then the ordered report",
+        "(completion order; per instance inside stacked batch groups), "
+        "then the ordered report",
     )
     p_grid.add_argument(
         "--quick", action="store_true",
-        help="ignore axis flags and run the small batched smoke grid",
+        help="ignore axis flags and run the small mixed-size batched "
+        "smoke grid",
     )
     p_grid.add_argument("--jobs", type=int, default=1)
     p_grid.add_argument("--json-out", default="", help="write full results JSON here")

@@ -23,11 +23,15 @@ cells or batch groups finish — the streaming path behind
 ``python -m repro grid --stream``.
 
 Strategy negotiation: ``strategy("auto")`` (the default) resolves to
-``batch`` exactly when the selected axes contain a stackable seed sweep
-(a registry-batchable program on the vector engine with more than one
-seed) and to ``cell`` otherwise.  The two strategies are guaranteed to
-produce identical records, so the negotiation only ever changes
-wall-clock.
+``batch`` exactly when the selected axes contain a stackable
+multi-instance sweep (a registry-batchable program on the vector engine
+with more than one instance per group — seeds *and* sizes both count,
+since mixed-size groups stack as one ragged plane) and to ``cell``
+otherwise.  The two strategies are guaranteed to produce identical
+records, so the negotiation only ever changes wall-clock.  Engine
+negotiation also enforces each spec's ``engines`` restriction: asking a
+restricted program to run on an excluded engine raises a structured
+:class:`~repro.errors.EngineRestrictionError` at expansion time.
 """
 
 from __future__ import annotations
@@ -36,7 +40,11 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.api.records import RunRecord, SweepResult
 from repro.api.registry import available_programs, program_spec
-from repro.errors import UnknownEngineError, UnknownStrategyError
+from repro.errors import (
+    EngineRestrictionError,
+    UnknownEngineError,
+    UnknownStrategyError,
+)
 
 #: Strategies the builder accepts (``auto`` resolves to one of the others).
 BUILDER_STRATEGIES = ("auto", "cell", "batch")
@@ -132,10 +140,19 @@ class Experiment:
         return [default_engine_name()]
 
     def resolved_strategy(self) -> str:
-        """What ``auto`` negotiates to for the current axes."""
+        """What ``auto`` negotiates to for the current axes.
+
+        ``batch`` exactly when a stackable multi-instance sweep is
+        present: a registry-batchable program on the vector engine with
+        ≥ 2 instances per (family, program) group.  Since the ragged
+        stacked plane, the instance axis spans sizes *and* seeds — a
+        mixed-size single-seed sweep batches just like a seed ensemble.
+        """
         if self._strategy != "auto":
             return self._strategy
-        if len(self._seeds) < 2 or "vector" not in self._selected_engines():
+        if "vector" not in self._selected_engines():
+            return "cell"
+        if len(self._seeds) * len(self._sizes) < 2:
             return "cell"
         specs = [program_spec(name) for name in self._selected_programs()]
         return "batch" if any(spec.batchable for spec in specs) else "cell"
@@ -144,7 +161,16 @@ class Experiment:
         """Expand the axes into concrete :class:`GridCell` objects.
 
         Unknown program or engine names fail fast here with structured
-        errors, before any simulation runs.
+        errors, before any simulation runs.  Engine negotiation also
+        enforces each spec's ``engines`` restriction: *explicitly*
+        selecting a program together with an engine its
+        :class:`~repro.api.registry.ProgramSpec` excludes raises a
+        structured :class:`~repro.errors.EngineRestrictionError` — the
+        builder refuses to schedule a workload on an unsupported engine
+        rather than silently running it.  When the program axis is the
+        registry default (no programs named), restricted (program,
+        engine) pairs are dropped from the expansion instead, so one
+        restricted spec never breaks all-programs comparison grids.
         """
         from repro.congest.engine import available_engines
         from repro.experiments.runner import _expand_cells
@@ -154,13 +180,32 @@ class Experiment:
         for engine in engines:
             if engine not in registered:
                 raise UnknownEngineError(engine, sorted(registered))
-        return _expand_cells(
+        explicit = self._programs is not None
+        dropped = set()
+        for name in self._selected_programs():
+            spec = program_spec(name)
+            for engine in engines:
+                if spec.supports_engine(engine):
+                    continue
+                if explicit:
+                    raise EngineRestrictionError(
+                        name, engine, list(spec.engines or ())
+                    )
+                dropped.add((name, engine))
+        cells = _expand_cells(
             families=self._families,
             sizes=self._sizes,
             programs=self._selected_programs(),
             engines=engines,
             seeds=self._seeds,
         )
+        if dropped:
+            cells = [
+                cell
+                for cell in cells
+                if (cell.program, cell.engine) not in dropped
+            ]
+        return cells
 
     def _meta(self) -> Dict[str, object]:
         return {
@@ -189,10 +234,14 @@ class Experiment:
         return SweepResult(records=records, meta=self._meta())
 
     def stream(self) -> Iterator[RunRecord]:
-        """Yield records as cells / batch groups finish (completion order).
+        """Yield records in completion order, record by record.
 
-        The deterministic cell order can always be restored afterwards
-        with :meth:`collect` — the streamed record *set* is identical to
+        Stacked batch groups stream *per instance*: when an instance's
+        termination mask flips inside a (possibly ragged) group, its
+        record is yielded immediately — in-process; across workers a
+        group's records arrive together when its worker finishes.  The
+        deterministic cell order can always be restored afterwards with
+        :meth:`collect` — the streamed record *set* is identical to
         :meth:`run`'s.
         """
         from repro.experiments.runner import iter_grid_records

@@ -69,7 +69,11 @@ class ProgramSpec:
         is ``None`` for programs the ``batch`` strategy cannot stack.
     engines:
         Engine names the spec is eligible for (``None`` = every registered
-        engine).
+        engine).  Enforced by the :class:`~repro.api.experiment.Experiment`
+        builder's engine negotiation: explicitly selecting this program
+        with an excluded engine raises
+        :class:`~repro.errors.EngineRestrictionError` at expansion time,
+        while defaulted all-programs grids drop the restricted pairs.
     default_params:
         Keyword arguments applied to every ``drive`` call — the spec's
         canonical workload parameters.

@@ -19,11 +19,13 @@ Select an engine per run (``Simulator(..., engine="reference")``), process
 wide (:func:`set_default_engine`, the ``--engine`` CLI flags), or via the
 ``REPRO_ENGINE`` environment variable.  ``docs/engines.md`` has the guide.
 
-On top of the per-run engines, :func:`run_stacked`
-(:mod:`repro.congest.engine.batched`) executes K independent instances of
-one *stackable* program family as a single stacked message plane — the
+On top of the per-run engines, :func:`run_stacked` /
+:func:`iter_stacked` (:mod:`repro.congest.engine.batched`) execute K
+independent instances of one *stackable* program family as a single
+stacked message plane — ragged (mixed instance sizes) or uniform — the
 batched multi-instance mode behind the experiment runner's ``batch``
-strategy.
+strategy; the ``iter`` variant streams each instance's result the moment
+its termination mask flips.
 """
 
 from repro.congest.engine.base import (
@@ -38,6 +40,7 @@ from repro.congest.engine.base import (
 )
 from repro.congest.engine.batched import (
     StackedPlane,
+    iter_stacked,
     run_stacked,
     stack_ineligibility,
 )
@@ -72,6 +75,7 @@ __all__ = [
     "VectorKernel",
     "kernel_for",
     "register_kernel",
+    "iter_stacked",
     "run_stacked",
     "stack_ineligibility",
 ]

@@ -1,4 +1,4 @@
-"""Batched multi-instance execution: K seeds as one stacked message plane.
+"""Batched multi-instance execution: K instances as one stacked message plane.
 
 Statistical sweeps — the Theorem 1.1/1.2 style experiments — are many
 independent runs of the *same* program family over different seeded
@@ -6,35 +6,41 @@ topologies.  Solo, each run pays the vector engine's per-round fixed cost
 (a few dozen numpy dispatches) on arrays that are tiny for suite-sized
 graphs, so a 50-seed sweep pays that overhead 50 times over.  This module
 stacks the K instances into **one** columnar message plane so each numpy
-kernel invocation advances every seed at once:
+kernel invocation advances every instance at once:
 
 * :class:`StackedPlane` — K per-instance CSR topologies concatenated
-  block-diagonally in instance-major order (instance ``k`` owns global
-  nodes ``k*n .. (k+1)*n - 1`` and the matching slice of the edge-slot
-  arrays).  Because no row ever references another instance's slots, all
-  of :class:`~repro.congest.engine.vector.CsrPlane`'s row reductions are
-  exactly the per-instance reductions, computed in one call.
-* :func:`run_stacked` — the batched run loop.  It instantiates programs
-  and contexts *per instance with local ids* (so every message field, bit
-  length and packed comparison key is identical to a solo run), performs
-  the scalar ``setup`` + handover per instance, then drives the registered
+  block-diagonally in instance-major order.  The layout is **ragged**:
+  instances may have *different* node counts, described by per-instance
+  offset tables (``local_ns[k]`` is instance ``k``'s size,
+  ``node_offsets[k]`` its first global node, ``slot_offsets[k]`` its first
+  edge slot).  Because no row ever references another instance's slots,
+  all of :class:`~repro.congest.engine.vector.CsrPlane`'s row reductions
+  (``np.add.reduceat`` over the non-empty rows) are exactly the
+  per-instance reductions, computed in one call; per-instance aggregates
+  reduce the same way over the ``node_offsets`` segment boundaries.
+* :func:`iter_stacked` / :func:`run_stacked` — the batched run loop.  It
+  instantiates programs and contexts *per instance with local ids* (so
+  every message field, bit length and packed comparison key is identical
+  to a solo run), performs the scalar ``setup`` + handover per instance,
+  then drives the registered
   :class:`~repro.congest.engine.vector.VectorKernel` over the union plane
   with **per-instance accounting**: each instance has its own round
-  counter, per-round series, wire totals and termination mask, and the
-  returned :class:`SimulationResult` list is bit-for-bit what K solo
-  ``vector``-engine runs would have produced (the parity suite in
-  ``tests/test_batched_engine.py`` enforces this across the graph zoo).
+  counter, per-round series, wire totals, bit budget, round limit and
+  termination mask.  The moment an instance's termination mask flips,
+  :func:`iter_stacked` yields its finished :class:`SimulationResult` —
+  in-group per-record streaming — and the result is bit-for-bit what the
+  instance's solo ``vector``-engine run would have produced (the parity
+  suite in ``tests/test_batched_engine.py`` enforces this across the
+  graph zoo, for uniform and mixed-size groups alike).
 
 Eligibility is deliberately narrow and fails loudly
 (:class:`~repro.errors.BatchEligibilityError`) so callers can fall back to
 per-cell execution:
 
-* every instance has the same node count and bit budget (seeds of one
-  (family, size) grid group satisfy this by construction);
 * the program class declares :attr:`NodeProgram.message_specs` and has a
   registered kernel whose :attr:`VectorKernel.stackable` flag is set —
-  the kernel promises to use ``plane.local_n`` / ``plane.local_ids`` and
-  to never consult ``self.network``;
+  the kernel promises to use ``plane.local_n_of`` / ``plane.local_ids``
+  and to never consult ``self.network``;
 * the kernel's ``takeover_round`` is 1 for every instance, so all
   instances enter the plane in lockstep with no scalar prefix.  This is
   exactly why the Lemma 3.10 program does not qualify: its takeover round
@@ -43,15 +49,26 @@ per-cell execution:
 * the traffic queued by ``setup`` is a conforming single-tag broadcast
   with the *same* tag across instances (a silent instance joins any tag).
 
-Instances terminate independently: a finished instance's nodes leave the
-kernel's live mask, so its portion of every later broadcast mask is empty
-— zero messages, zero bits, no leakage into the siblings' accounting —
-and its per-round series simply stops growing while the others run on.
+Node counts, bit budgets and round limits are all per-instance — mixed
+sizes (and hence the size-derived CONGEST budgets) stack fine.  Instances
+terminate independently: a finished instance's nodes leave the kernel's
+live mask, so its portion of every later broadcast mask is empty — zero
+messages, zero bits, no leakage into the siblings' accounting — and its
+per-round series simply stops growing while the others run on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -72,32 +89,44 @@ from repro.errors import (
     SimulationLimitError,
 )
 
-__all__ = ["StackedPlane", "run_stacked", "stack_ineligibility"]
+__all__ = ["StackedPlane", "iter_stacked", "run_stacked", "stack_ineligibility"]
+
+#: Per-node budget stand-in for LOCAL-model instances (unbounded messages);
+#: far above any bit length :func:`bit_length_array` accepts.
+_NO_BUDGET = np.iinfo(np.int64).max
 
 
 class StackedPlane(CsrPlane):
-    """K same-size instance topologies as one block-diagonal CSR plane.
+    """K instance topologies as one ragged block-diagonal CSR plane.
 
-    Instance ``k`` owns global node ids ``k * local_n .. (k+1) * local_n - 1``
-    and the slot range ``slot_offsets[k] .. slot_offsets[k+1]``.
-    ``local_ids`` maps every global node back to its per-instance id and
-    ``instance_of`` to its instance index; ``local_n`` is the (shared)
-    per-instance node count — the ``n`` every node program believes it is
-    running on.
+    Instance ``k`` owns the global node range
+    ``node_offsets[k] .. node_offsets[k+1] - 1`` (its size is
+    ``local_ns[k]``) and the edge-slot range
+    ``slot_offsets[k] .. slot_offsets[k+1]``.  ``local_ids`` maps every
+    global node back to its per-instance id, ``instance_of`` to its
+    instance index, and ``local_n_of`` to its instance's node count — the
+    ``n`` that node's program believes it is running on.  ``local_n`` is
+    the shared size when the stack is uniform and ``None`` when it is
+    ragged (kernels must use the per-node ``local_n_of`` either way).
     """
 
-    __slots__ = ("instances", "node_offsets", "slot_offsets", "instance_of")
+    __slots__ = (
+        "instances",
+        "local_ns",
+        "node_offsets",
+        "slot_offsets",
+        "instance_of",
+    )
 
     def __init__(self, networks: Sequence[Network]):
         if not networks:
             raise BatchEligibilityError("cannot stack zero instances")
-        sizes = {net.n for net in networks}
-        if len(sizes) != 1:
-            raise BatchEligibilityError(
-                f"stacked instances must share one node count, got {sorted(sizes)}"
-            )
-        local_n = networks[0].n
         k_count = len(networks)
+        local_ns = np.fromiter(
+            (net.n for net in networks), dtype=np.int64, count=k_count
+        )
+        node_offsets = np.zeros(k_count + 1, dtype=np.int64)
+        np.cumsum(local_ns, out=node_offsets[1:])
         indptr_parts: List[np.ndarray] = []
         indices_parts: List[np.ndarray] = []
         slot_offsets = np.zeros(k_count + 1, dtype=np.int64)
@@ -109,34 +138,43 @@ class StackedPlane(CsrPlane):
             # neighbor ids into instance k's node range.
             start = indptr[1:] if k else indptr
             indptr_parts.append(start + slot_offsets[k])
-            indices_parts.append(indices + k * local_n)
+            indices_parts.append(indices + node_offsets[k])
             slot_offsets[k + 1] = slot_offsets[k] + indices.shape[0]
         self._init_arrays(
             np.concatenate(indptr_parts), np.concatenate(indices_parts)
         )
         self.instances = k_count
-        self.local_n = local_n
-        self.local_ids = np.tile(
-            np.arange(local_n, dtype=np.int64), k_count
-        )
-        self.node_offsets = np.arange(k_count + 1, dtype=np.int64) * local_n
+        self.local_ns = local_ns
+        self.node_offsets = node_offsets
         self.slot_offsets = slot_offsets
+        uniform = bool((local_ns == local_ns[0]).all())
+        self.local_n = int(local_ns[0]) if uniform else None
+        self.local_ids = np.arange(self.n, dtype=np.int64) - np.repeat(
+            node_offsets[:-1], local_ns
+        )
+        self.local_n_of = np.repeat(local_ns, local_ns)
         self.instance_of = np.repeat(
-            np.arange(k_count, dtype=np.int64), local_n
+            np.arange(k_count, dtype=np.int64), local_ns
         )
 
     def live_per_instance(self, live: np.ndarray) -> np.ndarray:
-        """Per-instance count of set flags in a global node mask."""
-        return live.reshape(self.instances, self.local_n).sum(axis=1)
+        """Per-instance count of set flags in a global node mask.
+
+        ``reduceat`` over the ragged ``node_offsets`` segment boundaries —
+        exact per-instance sums regardless of instance sizes.
+        """
+        return np.add.reduceat(
+            live.astype(np.int64), self.node_offsets[:-1]
+        )
 
 
 def stack_ineligibility(program_cls: type) -> Optional[str]:
     """Why ``program_cls`` cannot run stacked, or ``None`` if it can.
 
     This is the *static* half of eligibility (specs declared, kernel
-    registered and stackable); :func:`run_stacked` additionally verifies
-    the per-instance conditions (uniform sizes/budgets, round-1 takeover,
-    conforming handover) at run time.
+    registered and stackable); :func:`iter_stacked` additionally verifies
+    the per-instance conditions (round-1 takeover, conforming handover)
+    at run time.
     """
     if not getattr(program_cls, "message_specs", ()):
         return f"{program_cls.__name__} declares no message_specs"
@@ -151,15 +189,21 @@ def stack_ineligibility(program_cls: type) -> Optional[str]:
 def _accumulate_round(
     plane: StackedPlane,
     pending: Optional[PendingBroadcast],
-    budget: Optional[int],
+    node_budget: Optional[np.ndarray],
+    active_nodes: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-instance exact wire totals ``(messages, bits, max_bits)``.
 
     The instance-wise analogue of ``VectorEngine._account``: a broadcast
     puts ``degree`` copies of the sender's message on the wire, so the
     per-instance counts are degree-weighted sums over that instance's
-    senders.  Raises :class:`MessageTooLargeError` for the lowest-global-id
-    over-budget sender (reported with its *local* ids, matching what the
+    senders.  ``active_nodes`` masks out finished instances — their
+    bottom-of-loop queued traffic is discarded uncharged and unchecked,
+    exactly as the solo loop never reaches another accounting pass.
+    ``node_budget`` holds every sender's own instance's bit budget
+    (budgets are per-instance on a ragged plane); raises
+    :class:`MessageTooLargeError` for the lowest-global-id over-budget
+    sender (reported with its *local* ids, matching what the
     corresponding solo run would raise).
     """
     k_count = plane.instances
@@ -168,21 +212,23 @@ def _accumulate_round(
     wire_max = np.zeros(k_count, dtype=np.int64)
     if pending is None:
         return messages, bits_total, wire_max
-    on_wire = pending.mask & (plane.degrees > 0)
+    on_wire = pending.mask & (plane.degrees > 0) & active_nodes
     if not on_wire.any():
         return messages, bits_total, wire_max
+    if node_budget is not None:
+        over = on_wire & (pending.bits > node_budget)
+        if over.any():
+            sender = int(np.flatnonzero(over)[0])
+            receiver = int(plane.indices[plane.indptr[sender]])
+            raise MessageTooLargeError(
+                int(plane.local_ids[sender]),
+                int(plane.local_ids[receiver]),
+                int(pending.bits[sender]),
+                int(node_budget[sender]),
+            )
     inst = plane.instance_of[on_wire]
     degrees = plane.degrees[on_wire]
     bits = pending.bits[on_wire]
-    if budget is not None and int(bits.max()) > budget:
-        sender = int(np.flatnonzero(on_wire & (pending.bits > budget))[0])
-        receiver = int(plane.indices[plane.indptr[sender]])
-        raise MessageTooLargeError(
-            int(plane.local_ids[sender]),
-            int(plane.local_ids[receiver]),
-            int(pending.bits[sender]),
-            budget,
-        )
     # float64 bincount weights are exact here: per-round per-instance wire
     # totals are far below 2**53 for any CONGEST-budgeted workload.
     messages = np.bincount(inst, weights=degrees, minlength=k_count)
@@ -245,10 +291,9 @@ def _scalar_boot(
     collected: List[PendingBroadcast] = []
     union_programs: Dict[int, NodeProgram] = {}
     union_contexts: Dict[int, Context] = {}
-    local_n = plane.local_n
     for k, net in enumerate(networks):
         node_inputs = inputs[k] if inputs and inputs[k] else {}
-        base = k * local_n
+        base = int(plane.node_offsets[k])
         contexts: Dict[int, Context] = {}
         programs: Dict[int, NodeProgram] = {}
         records = []
@@ -283,42 +328,90 @@ def _scalar_boot(
     return kernel, _stitch_handover(plane, collected), union_contexts
 
 
-def run_stacked(
+def _round_limits(
+    max_rounds: Union[int, Sequence[int]], k_count: int
+) -> np.ndarray:
+    """Per-instance round limits from an int or a per-instance sequence."""
+    if isinstance(max_rounds, (int, np.integer)):
+        return np.full(k_count, int(max_rounds), dtype=np.int64)
+    limits = np.asarray([int(r) for r in max_rounds], dtype=np.int64)
+    if limits.shape[0] != k_count:
+        raise BatchEligibilityError(
+            f"got {limits.shape[0]} round limits for {k_count} instances"
+        )
+    return limits
+
+
+def iter_stacked(
     networks: Sequence[Network],
     program_factory: type,
     inputs: Optional[Sequence[Optional[Mapping[int, object]]]] = None,
-    max_rounds: int = 10_000,
-) -> List[SimulationResult]:
-    """Run one program family on K instance networks as one stacked plane.
+    max_rounds: Union[int, Sequence[int]] = 10_000,
+) -> Iterator[Tuple[int, SimulationResult]]:
+    """Run K instances as one stacked plane, streaming finished instances.
 
-    Returns one :class:`SimulationResult` per instance, bit-for-bit equal
-    to K solo ``vector``-engine runs of the same (network, inputs) pairs.
-    Raises :class:`~repro.errors.BatchEligibilityError` when the instances
-    cannot be stacked (see the module docstring for the rules) — callers
-    such as the batch runner fall back to per-cell execution.
+    Yields ``(instance_index, result)`` **the moment the instance's
+    termination mask flips** — a small instance that halts early surfaces
+    long before its larger siblings finish — in completion order (ties
+    broken by instance index).  Each yielded result is bit-for-bit equal
+    to the instance's solo ``vector``-engine run of the same
+    (network, inputs) pair; collect them all and you have exactly
+    :func:`run_stacked`'s output.
+
+    ``max_rounds`` may be an int (shared limit) or one limit per instance
+    (a ragged group's natural shape, e.g. size-derived limits).  An
+    unfinished instance hitting its own limit aborts the whole group with
+    :class:`~repro.errors.SimulationLimitError`; callers such as the batch
+    runner fall back to per-cell execution for the instances not yet
+    yielded, which reproduces each solo outcome (including the solo
+    error) exactly.
+
+    Raises :class:`~repro.errors.BatchEligibilityError` when the
+    instances cannot be stacked (see the module docstring for the rules).
+    Static eligibility and argument shapes are validated eagerly — at the
+    call, not on first iteration — so the error surfaces at the faulty
+    call site even if the iterator is handed off or never consumed
+    (run-time conditions such as a non-conforming handover still raise
+    from the iterator).
     """
     k_count = len(networks)
     if k_count == 0:
         raise BatchEligibilityError("cannot stack zero instances")
-    budgets = {net.bit_budget for net in networks}
-    if len(budgets) != 1:
-        raise BatchEligibilityError(
-            f"stacked instances must share one bit budget, got {sorted(map(str, budgets))}"
-        )
-    budget = networks[0].bit_budget
     reason = stack_ineligibility(program_factory)
     if reason is not None:
         raise BatchEligibilityError(reason)
+    limits = _round_limits(max_rounds, k_count)
+    return _iter_stacked(list(networks), program_factory, inputs, limits)
+
+
+def _iter_stacked(
+    networks: Sequence[Network],
+    program_factory: type,
+    inputs: Optional[Sequence[Optional[Mapping[int, object]]]],
+    limits: np.ndarray,
+) -> Iterator[Tuple[int, SimulationResult]]:
+    """Generator body of :func:`iter_stacked` (arguments pre-validated)."""
+    k_count = len(networks)
     kernel_cls = kernel_for(program_factory)
 
     plane = StackedPlane(networks)
-    local_n = plane.local_n
+    budgets = [net.bit_budget for net in networks]
+    if all(b is None for b in budgets):
+        node_budget = None
+    else:
+        node_budget = np.repeat(
+            np.asarray(
+                [_NO_BUDGET if b is None else int(b) for b in budgets],
+                dtype=np.int64,
+            ),
+            plane.local_ns,
+        )
     union_contexts: Optional[Dict[int, Context]] = None
     if kernel_cls.stacked_setup is not None:
         # Vectorized boot: no per-node program or context objects at all —
         # the kernel initializes its planes and the round-1 broadcast
         # directly from the instance inputs.  This is where batched sweeps
-        # stop paying O(K * n) Python object construction.
+        # stop paying O(total nodes) Python object construction.
         kernel, pending = kernel_cls.stacked_setup(
             plane, list(inputs) if inputs else [None] * k_count
         )
@@ -329,88 +422,113 @@ def run_stacked(
 
     # -- the stacked loop: VectorEngine._run_hybrid with K ledgers ----------
     #
-    # Per-instance accounting is kept as per-round *history rows* (one
-    # int64 vector of length K per round) and folded into the K ledgers
-    # once at the end — the loop itself stays free of per-instance Python.
-    # ``finished`` is monotone, so each instance's counted rounds form a
-    # prefix of the history: exactly its solo per-round series.
+    # Accounting is fully incremental so an instance's result can be built
+    # the instant it finishes: running per-instance totals plus per-round
+    # history rows (one int64 vector of length K per executed round).
+    # ``finished`` is monotone, so each unfinished instance has executed
+    # every round so far — its counted rounds form a prefix of the history,
+    # exactly its solo per-round series.
     hist_msgs: List[np.ndarray] = []
     hist_bits: List[np.ndarray] = []
-    hist_wmax: List[np.ndarray] = []
-    #: charge[r][k]: round r's in-flight traffic hit instance k's wire
-    #: totals (solo semantics: charged even if the round never executes).
-    hist_charge: List[np.ndarray] = []
-    #: count[r][k]: instance k actually executed round r (rounds counter,
-    #: total_messages and the per-round series advance).
-    hist_count: List[np.ndarray] = []
+    total_messages = np.zeros(k_count, dtype=np.int64)
+    total_bits = np.zeros(k_count, dtype=np.int64)
+    wire_max = np.zeros(k_count, dtype=np.int64)
+    inst_rounds = np.zeros(k_count, dtype=np.int64)
     finished = np.zeros(k_count, dtype=bool)
-    live_k = plane.live_per_instance(kernel.live)
+    #: Node-level expansion of ``~finished`` (masks discarded traffic).
+    active_nodes = np.ones(plane.n, dtype=bool)
+
+    def _finish(k: int) -> Tuple[int, SimulationResult]:
+        """Snapshot instance ``k``'s solo-equivalent result at flip time."""
+        base = int(plane.node_offsets[k])
+        local_n = int(plane.local_ns[k])
+        lo, hi = base, base + local_n
+        active_nodes[lo:hi] = False
+        outputs: Dict[int, Dict[str, object]] = {}
+        for v in range(local_n):
+            g = base + v
+            values = (
+                dict(union_contexts[g]._outputs)
+                if union_contexts is not None
+                else {}
+            )
+            values.update(kernel._outputs.get(g, {}))
+            outputs[v] = values
+        executed = int(inst_rounds[k])
+        return k, SimulationResult(
+            rounds=executed,
+            total_messages=int(total_messages[k]),
+            total_bits=int(total_bits[k]),
+            max_message_bits=int(wire_max[k]),
+            outputs=outputs,
+            all_halted=True,
+            messages_per_round=[int(row[k]) for row in hist_msgs[:executed]],
+            bits_per_round=[int(row[k]) for row in hist_bits[:executed]],
+        )
 
     rounds = 0
-    while rounds < max_rounds:
-        msgs_k, bits_k, wmax_k = _accumulate_round(plane, pending, budget)
-        hist_msgs.append(msgs_k)
-        hist_bits.append(bits_k)
-        hist_wmax.append(wmax_k)
-        hist_charge.append(~finished)
+    live_k = plane.live_per_instance(kernel.live)
+    while True:
+        msgs_k, bits_k, wmax_k = _accumulate_round(
+            plane, pending, node_budget, active_nodes
+        )
+        total_bits += bits_k
+        np.maximum(wire_max, wmax_k, out=wire_max)
         # Solo top-of-loop break: an instance with no live nodes has its
         # in-flight traffic charged but does not execute the round.
-        finished |= live_k == 0
-        hist_count.append(~finished)
+        newly = ~finished & (live_k == 0)
+        if newly.any():
+            finished |= newly
+            for k in np.flatnonzero(newly):
+                yield _finish(int(k))
         if finished.all():
-            break
+            return
+        exhausted = ~finished & (inst_rounds >= limits)
+        if exhausted.any():
+            raise SimulationLimitError(
+                "stacked simulation did not terminate within "
+                f"{int(limits[exhausted].min())} rounds"
+            )
 
+        counted = ~finished
+        total_messages += np.where(counted, msgs_k, 0)
+        inst_rounds += counted
+        hist_msgs.append(msgs_k)
+        hist_bits.append(bits_k)
         rounds += 1
         pending = kernel.step(rounds, pending)
         live_k = plane.live_per_instance(kernel.live)
         # Solo bottom-of-loop break: traffic an instance queued during its
-        # final round is discarded *uncharged*.
-        finished |= live_k == 0
+        # final round is discarded *uncharged* (``active_nodes`` masks it
+        # out of the next accumulation).
+        newly = ~finished & (live_k == 0)
+        if newly.any():
+            finished |= newly
+            for k in np.flatnonzero(newly):
+                yield _finish(int(k))
         if finished.all():
-            break
-    else:
-        raise SimulationLimitError(
-            f"stacked simulation did not terminate within {max_rounds} rounds"
-        )
+            return
 
-    if union_contexts is None:
-        outputs: Dict[int, Dict[str, object]] = {
-            g: {} for g in range(plane.n)
-        }
-    else:
-        outputs = {g: dict(ctx._outputs) for g, ctx in union_contexts.items()}
-    kernel.write_outputs(outputs)
-    live_k = plane.live_per_instance(kernel.live)
 
-    executed = len(hist_msgs)
-    msgs2d = np.array(hist_msgs, dtype=np.int64).reshape(executed, k_count)
-    bits2d = np.array(hist_bits, dtype=np.int64).reshape(executed, k_count)
-    wmax2d = np.array(hist_wmax, dtype=np.int64).reshape(executed, k_count)
-    charge2d = np.array(hist_charge, dtype=bool).reshape(executed, k_count)
-    count2d = np.array(hist_count, dtype=bool).reshape(executed, k_count)
-    total_bits = (bits2d * charge2d).sum(axis=0)
-    total_messages = (msgs2d * count2d).sum(axis=0)
-    max_bits = (
-        np.where(charge2d, wmax2d, 0).max(axis=0)
-        if executed
-        else np.zeros(k_count, dtype=np.int64)
-    )
-    inst_rounds = count2d.sum(axis=0)
+def run_stacked(
+    networks: Sequence[Network],
+    program_factory: type,
+    inputs: Optional[Sequence[Optional[Mapping[int, object]]]] = None,
+    max_rounds: Union[int, Sequence[int]] = 10_000,
+) -> List[SimulationResult]:
+    """Run one program family on K instance networks as one stacked plane.
 
-    results: List[SimulationResult] = []
-    for k in range(k_count):
-        base = k * local_n
-        r_k = int(inst_rounds[k])
-        results.append(
-            SimulationResult(
-                rounds=r_k,
-                total_messages=int(total_messages[k]),
-                total_bits=int(total_bits[k]),
-                max_message_bits=int(max_bits[k]),
-                outputs={v: outputs[base + v] for v in range(local_n)},
-                all_halted=bool(live_k[k] == 0),
-                messages_per_round=msgs2d[:r_k, k].tolist(),
-                bits_per_round=bits2d[:r_k, k].tolist(),
-            )
-        )
-    return results
+    Returns one :class:`SimulationResult` per instance (in instance
+    order), bit-for-bit equal to K solo ``vector``-engine runs of the same
+    (network, inputs) pairs; the streaming variant is
+    :func:`iter_stacked`.  Raises
+    :class:`~repro.errors.BatchEligibilityError` when the instances cannot
+    be stacked (see the module docstring for the rules) — callers such as
+    the batch runner fall back to per-cell execution.
+    """
+    results: List[Optional[SimulationResult]] = [None] * len(networks)
+    for k, result in iter_stacked(
+        networks, program_factory, inputs=inputs, max_rounds=max_rounds
+    ):
+        results[k] = result
+    return results  # type: ignore[return-value]

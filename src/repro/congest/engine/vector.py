@@ -179,6 +179,7 @@ class CsrPlane:
         "degrees",
         "local_n",
         "local_ids",
+        "local_n_of",
         "_nonempty",
         "_starts",
     )
@@ -191,8 +192,13 @@ class CsrPlane:
         # stacked plane (engine/batched.py) overrides both so kernels keep
         # computing with per-instance semantics (packed-key bases, id fields
         # on the wire) no matter how many instances share the arrays.
+        # ``local_n_of`` is the per-node view of "the n my instance believes
+        # it runs on" — the quantity stackable kernels must base packed keys
+        # and round schedules on, because a *ragged* stacked plane holds
+        # instances of different sizes (``local_n`` is then ``None``).
         self.local_n = self.n
         self.local_ids = np.arange(self.n, dtype=np.int64)
+        self.local_n_of = np.full(self.n, self.n, dtype=np.int64)
 
     def _init_arrays(self, indptr: np.ndarray, indices: np.ndarray) -> None:
         self.indptr = indptr
@@ -259,8 +265,12 @@ class VectorKernel(ABC):
     #: message plane.  Requires (a) a constant ``takeover_round`` of 1 — all
     #: instances enter the plane in lockstep with no scalar prefix — and
     #: (b) per-node transitions that consult only intra-instance data:
-    #: ``plane.local_n`` / ``plane.local_ids`` instead of global ids, and
-    #: never ``self.network`` (a stacked run has no single network).
+    #: ``plane.local_n_of`` / ``plane.local_ids`` instead of global ids and
+    #: the global ``plane.n``, and never ``self.network`` (a stacked run has
+    #: no single network).  Stacked planes may be *ragged* — instances of
+    #: different sizes — so per-instance quantities (packed-key bases, round
+    #: schedules) must come from the per-node ``local_n_of`` array, never
+    #: from a single scalar ``n``.
     stackable = True
 
     @classmethod
@@ -282,10 +292,14 @@ class VectorKernel(ABC):
     #: classmethod ``stacked_setup(plane, inputs) -> (kernel, pending)``
     #: that replaces per-node program instantiation, scalar ``setup`` and
     #: handover collection with direct array initialization.  ``inputs`` is
-    #: one optional ``{node: input}`` mapping per instance (local ids).
-    #: The implementation must reproduce the scalar boot bit for bit:
-    #: same initial state, same round-1 broadcast mask/columns/bits.
-    #: ``None`` means the stacked runner boots through the scalar path.
+    #: one optional ``{node: input}`` mapping per instance (local ids);
+    #: implementations translate local to global ids through the plane's
+    #: ragged offset tables (``plane.node_offsets[k]`` is instance ``k``'s
+    #: first global node, ``plane.local_ns[k]`` its size — instances need
+    #: not share one size).  The implementation must reproduce the scalar
+    #: boot bit for bit: same initial state, same round-1 broadcast
+    #: mask/columns/bits.  ``None`` means the stacked runner boots through
+    #: the scalar path.
     stacked_setup = None
 
     def __init__(

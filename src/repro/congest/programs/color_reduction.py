@@ -85,10 +85,13 @@ class ColorReductionKernel(VectorKernel):
     only — total scalar work across the run is O(sum of acting degrees),
     not O(n) per round like the scalar engines pay.
 
-    The acting class is computed from ``plane.local_n`` (the ``n`` each
-    node program believes it runs on), so the kernel is *stackable*: on a
-    stacked plane of K same-size instances every instance eliminates the
-    same class in the same global round, exactly as its solo run would.
+    The acting class is computed from ``plane.local_n_of`` (the per-node
+    view of the ``n`` each node program believes it runs on), so the
+    kernel is *stackable on ragged planes*: in global round ``r`` a node
+    of an ``n_k``-node instance acts iff its color is ``n_k - r`` and the
+    whole instance halts at round ``n_k`` — smaller instances eliminate
+    lower classes and terminate earlier while their larger siblings run
+    on, exactly as each solo run schedules itself.
     """
 
     _SPEC = ColorReductionProgram.message_specs[0]
@@ -113,11 +116,10 @@ class ColorReductionKernel(VectorKernel):
         """
         kernel = cls._blank(plane)
         color = plane.local_ids.copy()
-        local_n = plane.local_n
         for k, mapping in enumerate(inputs):
             if not mapping:
                 continue
-            base = k * local_n
+            base = int(plane.node_offsets[k])
             for v, c in mapping.items():
                 if c is not None:
                     color[base + int(v)] = int(c)
@@ -139,12 +141,15 @@ class ColorReductionKernel(VectorKernel):
             sent = plane.sent_slots(inbound)
             self.ncolor[sent] = inbound.columns[0][plane.indices[sent]]
 
-        acting_color = plane.local_n - round_no
-        if acting_color <= 0:
-            for v in np.flatnonzero(self.live):
+        # Per-node acting class: round r eliminates class n_k - r in each
+        # node's own instance; an instance is done once its class hits 0
+        # (round n_k), independently of any larger siblings on the plane.
+        acting_color = plane.local_n_of - round_no
+        finishing = self.live & (acting_color <= 0)
+        if finishing.any():
+            for v in np.flatnonzero(finishing):
                 self.output(int(v), "color", int(self.color[v]))
-            self.live[:] = False
-            return None
+            self.live &= ~finishing
 
         acting = self.live & (self.color == acting_color)
         if not acting.any():

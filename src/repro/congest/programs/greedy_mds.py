@@ -129,10 +129,13 @@ class DistributedGreedyKernel(VectorKernel):
     orders exactly like the scalar ``(span, -id)`` pair:
     ``key = span * n + (n - 1 - id)``.
 
-    All id arithmetic uses ``plane.local_ids`` / ``plane.local_n`` (equal
-    to the global ids / ``n`` on a solo plane), which is what makes the
-    kernel *stackable*: on a stacked plane every instance broadcasts and
-    compares its own local ids, bit-for-bit like a solo run.
+    All id arithmetic uses ``plane.local_ids`` / ``plane.local_n_of``
+    (equal to the global ids / ``n`` on a solo plane), which is what makes
+    the kernel *stackable*: on a stacked plane — uniform or ragged — every
+    instance broadcasts and compares its own local ids against its own
+    packed-key base ``n``, bit-for-bit like a solo run.  Key comparisons
+    never cross instances (the 2-hop max is a CSR row reduction and rows
+    stay inside their instance), so per-instance bases are sound.
     """
 
     _SPEC = {spec.tag: spec for spec in DistributedGreedyProgram.message_specs}
@@ -178,7 +181,7 @@ class DistributedGreedyKernel(VectorKernel):
         return kernel, pending
 
     def _own_key(self) -> np.ndarray:
-        base = self.plane.local_n
+        base = self.plane.local_n_of
         return self.span * base + (base - 1 - self.ids)
 
     def _received_key_max(
@@ -191,7 +194,10 @@ class DistributedGreedyKernel(VectorKernel):
         sent = plane.sent_slots(inbound)
         span_slot = inbound.columns[0][plane.indices]
         id_slot = inbound.columns[1][plane.indices]
-        base = plane.local_n
+        # Per-slot packed-key base: the sender's instance's n (a slot and
+        # its peer always live in the same instance, so this is also the
+        # receiving row's base).
+        base = plane.local_n_of[plane.indices]
         key_slot = span_slot * base + (base - 1 - id_slot)
         return plane.row_max(np.where(sent, key_slot, -1), empty=-1)
 
@@ -229,7 +235,7 @@ class DistributedGreedyKernel(VectorKernel):
             self.best_key = np.maximum(
                 self._received_key_max(inbound), self._own_key()
             )
-            base = plane.local_n
+            base = plane.local_n_of
             return self._broadcast(
                 "best", self.best_key // base, base - 1 - self.best_key % base
             )

@@ -100,7 +100,6 @@ class RoundingExecutionKernel(VectorKernel):
         """
         kernel = cls._blank(plane)
         n = plane.n
-        local_n = plane.local_n
         if any(not mapping for mapping in inputs):
             from repro.errors import BatchEligibilityError
 
@@ -111,8 +110,8 @@ class RoundingExecutionKernel(VectorKernel):
         c_num = np.zeros(n, dtype=np.int64)
         scale = np.zeros(n, dtype=np.int64)
         for k, mapping in enumerate(inputs):
-            base = k * local_n
-            for v in range(local_n):
+            base = int(plane.node_offsets[k])
+            for v in range(int(plane.local_ns[k])):
                 xv, cv, sv = mapping[v]
                 x_num[base + v] = xv
                 c_num[base + v] = cv

@@ -54,13 +54,35 @@ class UnknownProgramError(ReproError):
 class BatchEligibilityError(CongestError):
     """A group of instances cannot run as one stacked message plane.
 
-    Raised by :func:`repro.congest.engine.batched.run_stacked` when the
-    instances violate a stacking precondition (mixed sizes or bit budgets,
-    a program without a stackable vector kernel, non-round-1 takeover, or a
-    non-conforming handover).  The batch runner treats this as a signal to
-    fall back to per-cell execution, so callers never see it unless they
-    invoke the stacked engine directly.
+    Raised by :func:`repro.congest.engine.batched.run_stacked` /
+    :func:`~repro.congest.engine.batched.iter_stacked` when the instances
+    violate a stacking precondition (a program without a stackable vector
+    kernel, non-round-1 takeover, or a non-conforming handover; sizes and
+    bit budgets may differ — the plane is ragged).  The batch runner
+    treats this as a signal to fall back to per-cell execution, so callers
+    never see it unless they invoke the stacked engine directly.
     """
+
+
+class EngineRestrictionError(ReproError):
+    """A workload was asked to run on an engine its spec excludes.
+
+    :attr:`repro.api.registry.ProgramSpec.engines` lets a spec restrict
+    which simulation engines can drive it; the
+    :class:`~repro.api.experiment.Experiment` builder enforces the
+    restriction during engine negotiation (at ``.cells()`` expansion, so
+    the error surfaces before anything runs) instead of silently running
+    the workload on an unsupported engine.
+    """
+
+    def __init__(self, program: str, engine: str, allowed: "list[str]"):
+        self.program = program
+        self.engine = engine
+        self.allowed = list(allowed)
+        super().__init__(
+            f"program {program!r} does not support engine {engine!r}; "
+            f"its spec allows: {', '.join(self.allowed)}"
+        )
 
 
 class UnknownStrategyError(ReproError):

@@ -35,20 +35,23 @@ Design points:
   once and ships its CSR arrays through ``multiprocessing.shared_memory``
   (:mod:`repro.experiments.sharedmem`), so workers skip graph generation
   entirely and nothing big travels through the pool queue.
-* **Batched seed sweeps.** ``strategy="batch"`` groups vector-engine cells
-  by (family, n, program) and executes each group's seeds as **one**
-  stacked message plane (:func:`repro.congest.engine.batched.run_stacked`)
-  instead of K per-node program instantiations.  Split results are
-  bit-for-bit identical to per-cell runs — groups that cannot stack
-  (ineligible program, mixed generated sizes, any error) transparently
-  fall back to the per-cell path, so the strategy only ever changes
-  wall-clock, never records.
-* **Streaming.** Execution is organized as *dispatch units* (one cell, or
-  one stacked batch group); the streaming iterators yield each unit's
-  records the moment it completes — sequentially as the loop advances,
-  across workers via the pool's unordered result queue — so callers can
-  render progress or pipeline downstream work while the grid is still
-  running.
+* **Batched sweeps, ragged or uniform.** ``strategy="batch"`` groups
+  vector-engine cells by (family, program) — sizes *and* seeds stack —
+  and executes each group as **one** ragged stacked message plane
+  (:func:`repro.congest.engine.batched.iter_stacked`) instead of K
+  per-node program instantiations.  Split results are bit-for-bit
+  identical to per-cell runs — groups that cannot stack (ineligible
+  program, any error) transparently fall back to the per-cell path, so
+  the strategy only ever changes wall-clock, never records.
+* **Streaming, per record.** Execution is organized as *dispatch units*
+  (one cell, or one stacked batch group), and the streaming iterators
+  yield record by record in completion order.  In-process, a stacked
+  group streams *per instance*: the moment an instance's termination mask
+  flips, its record surfaces — early-finishing small instances interleave
+  ahead of their larger siblings.  Across workers, records surface via
+  the pool's unordered result queue as each unit's worker finishes.
+  Either way callers can render progress or pipeline downstream work
+  while the grid is still running.
 
 The typed record objects live in :mod:`repro.api.records`; the functions
 here keep returning the legacy dict shape for compatibility (it is also
@@ -122,9 +125,14 @@ class GridCell:
         return (self.family, self.n, self.seed)
 
     @property
-    def group_key(self) -> Tuple[str, int, str, str]:
-        """Cells sharing this key differ only by seed (one batch group)."""
-        return (self.family, self.n, self.program, self.engine)
+    def group_key(self) -> Tuple[str, str, str]:
+        """Cells sharing this key differ only by (n, seed) — one batch group.
+
+        Since the ragged stacked plane, groups span *sizes* as well as
+        seeds: mixed-size sweeps of one (family, program, engine) stack
+        into a single plane with per-instance offset tables.
+        """
+        return (self.family, self.program, self.engine)
 
 
 #: Execution strategies :func:`run_grid` accepts.
@@ -248,25 +256,37 @@ def run_cell(
     return _run_cell_record(cell, network=network).to_dict()
 
 
-def _run_batched_group_records(
+def _iter_batched_group_records(
     cells: Sequence[GridCell],
     networks: Optional[Sequence[Optional[Network]]] = None,
-) -> List[RunRecord]:
-    """Execute one batch group (same family/n/program/engine, many seeds)
-    as a single stacked run; fall back to per-cell execution on any error.
+) -> Iterator[Tuple[int, RunRecord]]:
+    """Execute one batch group (same family/program/engine; any mix of
+    sizes and seeds) as a single ragged stacked run, yielding
+    ``(index_in_group, record)`` **the moment each instance terminates**.
 
-    Success records carry identical ``metrics`` blocks to the per-cell
-    path (the stacked-plane parity guarantee) plus a ``batch`` annotation
-    recording the stack width and the group's shared wall-clock.
-    ``wall_s`` is the group wall divided evenly across the cells so
-    per-engine wall totals stay meaningful in summaries.
+    This is the in-group streaming path: a small instance that halts
+    early surfaces its record while its larger siblings are still
+    running, so stacked groups interleave with cell records in completion
+    order.  Success records carry identical ``metrics`` blocks to the
+    per-cell path (the stacked-plane parity guarantee) plus a ``batch``
+    annotation recording the stack width and the record's stream latency
+    (seconds from group dispatch to instance termination).  ``wall_s`` is
+    the record's *marginal* simulation wall — time since the previous
+    record of the group — so per-group and per-engine wall totals still
+    sum to the group's shared simulation wall.
+
+    Any error falls back to per-cell execution for the instances not yet
+    yielded (already-yielded records are exact solo-parity results and
+    stay valid); the per-cell runs reproduce each solo outcome, including
+    structured per-cell failures.
     """
-    from repro.congest.engine import run_stacked
+    from repro.congest.engine import iter_stacked
 
     cells = list(cells)
     nets: List[Optional[Network]] = (
         list(networks) if networks is not None else [None] * len(cells)
     )
+    done = set()
     try:
         for i, cell in enumerate(cells):
             if nets[i] is None:
@@ -277,27 +297,46 @@ def _run_batched_group_records(
             if spec.batch_inputs is not None
             else None
         )
-        start = time.perf_counter()
-        sims = run_stacked(
+        start = prev = time.perf_counter()
+        for k, sim in iter_stacked(
             nets,
             spec.batch_factory,
             inputs=inputs,
-            max_rounds=spec.batch_max_rounds(nets[0]),
-        )
-        wall = time.perf_counter() - start
+            # Per-instance round limits: a ragged group's limits are
+            # size-derived, and an instance exceeding its *own* limit must
+            # fall back to the per-cell path (where it reproduces its solo
+            # SimulationLimitError) instead of borrowing a sibling's slack.
+            max_rounds=[spec.batch_max_rounds(net) for net in nets],
+        ):
+            now = time.perf_counter()
+            record = RunRecord(
+                cell=cells[k],
+                ok=True,
+                wall_s=now - prev,
+                batch={"k": len(cells), "stream_latency_s": now - start},
+                metrics=spec.cell_metrics(nets[k], sim),
+            )
+            done.add(k)
+            yield k, record
+            # Restart the marginal-wall clock only after the consumer hands
+            # control back: time the consumer spends processing the yielded
+            # record must not count as simulation wall.
+            prev = time.perf_counter()
     except Exception:  # noqa: BLE001 - stacking is an optimization only
-        return [_run_cell_record(cell, network=net) for cell, net in zip(cells, nets)]
-    share = wall / max(1, len(cells))
-    return [
-        RunRecord(
-            cell=cell,
-            ok=True,
-            wall_s=share,
-            batch={"k": len(cells), "group_wall_s": wall},
-            metrics=spec.cell_metrics(network, sim),
-        )
-        for cell, network, sim in zip(cells, nets, sims)
-    ]
+        for i, (cell, net) in enumerate(zip(cells, nets)):
+            if i not in done:
+                yield i, _run_cell_record(cell, network=net)
+
+
+def _run_batched_group_records(
+    cells: Sequence[GridCell],
+    networks: Optional[Sequence[Optional[Network]]] = None,
+) -> List[RunRecord]:
+    """Collected (cell-order) form of :func:`_iter_batched_group_records`."""
+    records: List[Optional[RunRecord]] = [None] * len(cells)
+    for i, record in _iter_batched_group_records(cells, networks=networks):
+        records[i] = record
+    return records  # type: ignore[return-value]
 
 
 def run_batched_group(
@@ -317,10 +356,11 @@ def _batch_plan(
 
     Returns ``("batch", indices)`` units for stackable groups — vector
     engine, registry-batchable program, ≥ 2 cells sharing a
-    :attr:`GridCell.group_key`, chunked to ``batch_size`` (0 = unlimited)
-    — and ``("cell", [index])`` units for everything else.  Units are
-    emitted in first-occurrence order; record order is restored by index
-    afterwards, so the strategy cannot reorder results.
+    :attr:`GridCell.group_key` (which spans sizes *and* seeds: mixed-size
+    groups stack as one ragged plane), chunked to ``batch_size`` (0 =
+    unlimited) — and ``("cell", [index])`` units for everything else.
+    Units are emitted in first-occurrence order; record order is restored
+    by index afterwards, so the strategy cannot reorder results.
     """
     stackable = set(batchable_programs())
     groups: Dict[tuple, List[int]] = {}
@@ -402,8 +442,13 @@ def _run_indexed_unit(task) -> Tuple[int, List[RunRecord]]:
 
 def _iter_units_sequential(
     cells: List[GridCell], plan: List[Tuple[str, List[int]]]
-) -> Iterator[Tuple[List[int], List[RunRecord]]]:
-    """In-process execution, one unit at a time, topologies cached by key."""
+) -> Iterator[Tuple[int, RunRecord]]:
+    """In-process execution, one record at a time, topologies cached by key.
+
+    Batch groups stream *per instance*: each stacked record is yielded at
+    its instance's termination (not when the whole group finishes), so a
+    group's early finishers interleave ahead of its stragglers.
+    """
     networks: Dict[tuple, Optional[Network]] = {}
 
     def net_for(cell: GridCell) -> Optional[Network]:
@@ -418,24 +463,28 @@ def _iter_units_sequential(
     for kind, indices in plan:
         if kind == "cell":
             cell = cells[indices[0]]
-            yield indices, [_run_cell_record(cell, network=net_for(cell))]
+            yield indices[0], _run_cell_record(cell, network=net_for(cell))
         else:
             group = [cells[i] for i in indices]
-            yield indices, _run_batched_group_records(
+            for local, record in _iter_batched_group_records(
                 group, networks=[net_for(c) for c in group]
-            )
+            ):
+                yield indices[local], record
 
 
 def _iter_units_pool(
     cells: List[GridCell],
     plan: List[Tuple[str, List[int]]],
     jobs: int,
-) -> Iterator[Tuple[List[int], List[RunRecord]]]:
+) -> Iterator[Tuple[int, RunRecord]]:
     """Worker-pool execution: publish topologies once, stream completions.
 
     Units are consumed through ``imap_unordered`` — the pool's result
     queue — so each unit's records surface the moment its worker finishes,
-    not when the whole map returns.
+    not when the whole map returns.  Unlike the sequential path, a batch
+    group's records cross the process boundary together when the group's
+    worker finishes (unit granularity); in-group per-instance streaming is
+    an in-process (``jobs=1``) property.
     """
     import multiprocessing
 
@@ -474,7 +523,8 @@ def _iter_units_pool(
             for index, records in pool.imap_unordered(
                 _run_indexed_unit, list(enumerate(tasks))
             ):
-                yield plan[index][1], records
+                for offset, record in zip(plan[index][1], records):
+                    yield offset, record
     finally:
         for topology in published.values():
             if topology is not None:
@@ -488,8 +538,8 @@ def _iter_units(
     jobs: int,
     strategy: str,
     batch_size: int,
-) -> Iterator[Tuple[List[int], List[RunRecord]]]:
-    """Yield ``(cell_indices, records)`` per dispatch unit as it completes."""
+) -> Iterator[Tuple[int, RunRecord]]:
+    """Yield ``(cell_index, record)`` per record, in completion order."""
     if strategy not in STRATEGIES:
         raise UnknownStrategyError(strategy, available_strategies())
     plan = _plan_units(cells, strategy, batch_size)
@@ -505,22 +555,26 @@ def iter_grid_records(
     strategy: str = "cell",
     batch_size: int = 0,
 ) -> Iterator[RunRecord]:
-    """Stream typed records in *completion* order, as units finish.
+    """Stream typed records in *completion* order, record by record.
 
-    The record set is identical to :func:`run_grid_records`'s — only the
-    order differs (and only under worker parallelism or batching); sort by
-    cell position to restore the deterministic order.  Bad axis values
-    raise eagerly, at the call — not on first iteration — so the error
-    surfaces at the faulty call site even if the iterator is handed off
-    or never consumed.
+    Stacked batch groups stream per instance: when an instance's
+    termination mask flips inside a ragged group, its record is yielded
+    immediately (in-process execution; across workers a group's records
+    arrive together when its worker finishes).  The record set is
+    identical to :func:`run_grid_records`'s — only the order differs (and
+    only under worker parallelism or batching); sort by cell position to
+    restore the deterministic order.  Bad axis values raise eagerly, at
+    the call — not on first iteration — so the error surfaces at the
+    faulty call site even if the iterator is handed off or never
+    consumed.
     """
     cells = list(cells)
     if strategy not in STRATEGIES:
         raise UnknownStrategyError(strategy, available_strategies())
 
     def generate() -> Iterator[RunRecord]:
-        for _indices, records in _iter_units(cells, jobs, strategy, batch_size):
-            yield from records
+        for _index, record in _iter_units(cells, jobs, strategy, batch_size):
+            yield record
 
     return generate()
 
@@ -534,18 +588,17 @@ def run_grid_records(
     """Run every cell; typed records in deterministic cell order.
 
     ``strategy="cell"`` executes one simulation per cell;
-    ``strategy="batch"`` stacks each group of vector-engine seed-sweep
-    cells into one multi-instance run (``batch_size`` caps the stack
-    width; 0 means one stack per group).  Results come back in cell order
-    under every combination, and each unique (family, n, seed) topology is
-    generated exactly once — reused in-process sequentially, published
-    through shared memory to workers.
+    ``strategy="batch"`` stacks each group of vector-engine sweep cells —
+    seeds and sizes alike, as one ragged multi-instance plane —
+    (``batch_size`` caps the stack width; 0 means one stack per group).
+    Results come back in cell order under every combination, and each
+    unique (family, n, seed) topology is generated exactly once — reused
+    in-process sequentially, published through shared memory to workers.
     """
     cells = list(cells)
     results: List[Optional[RunRecord]] = [None] * len(cells)
-    for indices, records in _iter_units(cells, jobs, strategy, batch_size):
-        for i, record in zip(indices, records):
-            results[i] = record
+    for index, record in _iter_units(cells, jobs, strategy, batch_size):
+        results[index] = record
     return results  # type: ignore[return-value]
 
 
@@ -560,10 +613,10 @@ def run_grid(
 
     Returns legacy dict records (the JSON artifact shape) in cell order.
     With ``stream=True`` it instead returns an iterator that yields each
-    record as its dispatch unit completes — completion order, incremental
-    — for progress rendering and pipelined consumers; the record *set* is
-    identical either way.  Typed-record equivalents:
-    :func:`run_grid_records` / :func:`iter_grid_records`.
+    record as it completes — per instance inside stacked batch groups, in
+    completion order, incremental — for progress rendering and pipelined
+    consumers; the record *set* is identical either way.  Typed-record
+    equivalents: :func:`run_grid_records` / :func:`iter_grid_records`.
     """
     if stream:
         return (

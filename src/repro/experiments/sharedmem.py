@@ -108,11 +108,15 @@ class SharedTopology:
 class SharedStackedTopologyHandle:
     """Picklable descriptor of one published *group* of topologies.
 
-    The batch strategy ships a whole stacked group — K same-family seed
-    topologies — to a worker as two shared blocks: every instance's
-    ``indptr`` concatenated, and every instance's ``indices`` concatenated,
-    with per-instance ``(n, nnz, bit_budget)`` shapes in the handle.  One
-    publish/attach round-trip per group instead of K.
+    The batch strategy ships a whole stacked group — K same-family
+    topologies of any mix of sizes and seeds (the group is *ragged*: a
+    mixed-size sweep stacks too) — to a worker as two shared blocks:
+    every instance's ``indptr`` concatenated, and every instance's
+    ``indices`` concatenated, with per-instance ``(n, nnz, bit_budget)``
+    shapes in the handle.  The per-instance tables are exactly the ragged
+    offset information :class:`~repro.congest.engine.batched.StackedPlane`
+    rebuilds on the worker side.  One publish/attach round-trip per group
+    instead of K.
     """
 
     indptr_name: str

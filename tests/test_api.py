@@ -200,6 +200,59 @@ class TestBuilder:
         )
         assert _strip(auto.to_dicts()) == _strip(forced.to_dicts())
 
+    def test_auto_negotiates_batch_for_mixed_size_sweeps(self):
+        """Ragged planes made size an instance axis: a mixed-size
+        single-seed sweep batches just like a seed ensemble."""
+        mixed = Experiment("greedy").engine("vector").sizes(16, 24).seed(7)
+        assert mixed.resolved_strategy() == "batch"
+        solo = Experiment("greedy").engine("vector").sizes(16).seed(7)
+        assert solo.resolved_strategy() == "cell"
+        auto = mixed.on("gnp").run()
+        forced = (
+            Experiment("greedy").on("gnp").sizes(16, 24).engine("vector")
+            .seed(7).strategy("cell").run()
+        )
+        assert _strip(auto.to_dicts()) == _strip(forced.to_dicts())
+        assert all(rec.batch for rec in auto)  # the ragged group stacked
+
+    def test_engine_restriction_enforced_in_negotiation(self):
+        """A spec's ``engines`` tuple is a hard gate at expansion time."""
+        import dataclasses
+
+        from repro.api.registry import _REGISTRY
+        from repro.errors import EngineRestrictionError
+
+        restricted = dataclasses.replace(
+            program_spec("greedy"), name="greedy-fast-only", engines=("fast",)
+        )
+        register_program(restricted)
+        try:
+            with pytest.raises(EngineRestrictionError) as exc:
+                Experiment("greedy-fast-only").engine("vector").cells()
+            assert exc.value.program == "greedy-fast-only"
+            assert exc.value.engine == "vector"
+            assert exc.value.allowed == ["fast"]
+            assert "fast" in str(exc.value)
+            # The allowed engine still runs end to end.
+            sweep = (
+                Experiment("greedy-fast-only")
+                .on("tree").sizes(12).engine("fast").run()
+            )
+            assert sweep.ok and sweep.records[0].metrics["ds_size"] >= 1
+            # Defaulted all-programs grids drop the restricted pairs
+            # instead of failing: one restricted spec must never make
+            # the engine-comparison grids unbuildable.
+            cells = (
+                Experiment().on("tree").sizes(12)
+                .engines("fast", "vector").cells()
+            )
+            pairs = {(c.program, c.engine) for c in cells}
+            assert ("greedy-fast-only", "fast") in pairs
+            assert ("greedy-fast-only", "vector") not in pairs
+            assert ("greedy", "vector") in pairs  # unrestricted untouched
+        finally:
+            _REGISTRY.pop("greedy-fast-only", None)
+
     def test_unknown_axes_fail_fast(self):
         with pytest.raises(UnknownProgramError):
             Experiment("dijkstra").cells()
@@ -316,9 +369,35 @@ class TestStreaming:
         out = capsys.readouterr().out
         lines = [line for line in out.splitlines() if line.startswith("{")]
         records = [json.loads(line) for line in lines]
-        assert len(records) == 30  # 2 families x 3 stackable programs x 5 seeds
+        # 2 families x 2 sizes (mixed: the ragged smoke) x 3 stackable
+        # programs x 5 seeds
+        assert len(records) == 60
         assert all(rec["ok"] for rec in records)
         assert "no_failures=PASS" in out and "engine_parity=PASS" in out
+
+    def test_batch_groups_stream_per_instance(self):
+        """In-group streaming: a ragged group's records arrive in instance
+        completion order, not all at once in cell order.
+
+        Color reduction runs exactly n rounds, so in a mixed-size group
+        the 12-node instances *must* surface before any 40-node instance
+        even though the 40-node cells come first in cell order.
+        """
+        cells = (
+            Experiment("color-reduction")
+            .on("gnp")
+            .sizes(40, 12)
+            .engine("vector")
+            .seeds(3)
+            .cells()
+        )
+        streamed = list(iter_grid_records(cells, strategy="batch"))
+        sizes_in_arrival_order = [rec.cell.n for rec in streamed]
+        assert sizes_in_arrival_order == [12, 12, 12, 40, 40, 40]
+        assert all(rec.batch["k"] == 6 for rec in streamed)
+        assert all("stream_latency_s" in rec.batch for rec in streamed)
+        latencies = [rec.batch["stream_latency_s"] for rec in streamed]
+        assert latencies == sorted(latencies)  # monotone completion times
 
 
 class TestRecords:

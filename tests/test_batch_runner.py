@@ -245,6 +245,28 @@ class TestBatchStrategy:
         parallel = run_grid(self.SWEEP, strategy="batch", jobs=2)
         assert self._strip(sequential) == self._strip(parallel)
 
+    def test_mixed_size_groups_stack_as_one_ragged_plane(self):
+        """Since the ragged layout, one (family, program, engine) group
+        spans sizes: a mixed-size sweep stacks whole instead of falling
+        back per cell, with records identical to per-cell execution."""
+        from repro.api import Experiment
+
+        cells = (
+            Experiment("greedy", "color-reduction")
+            .on("gnp")
+            .sizes(16, 24, 40)
+            .engine("vector")
+            .seeds(2)
+            .cells()
+        )
+        batch = run_grid(cells, strategy="batch")
+        assert self._strip(batch) == self._strip(run_grid(cells, strategy="cell"))
+        # Each program's 3 sizes x 2 seeds stack into one width-6 plane.
+        assert all("batch" in rec for rec in batch)
+        assert {rec["batch"]["k"] for rec in batch} == {6}
+        parallel = run_grid(cells, strategy="batch", jobs=2)
+        assert self._strip(batch) == self._strip(parallel)
+
     def test_batch_survives_bad_family(self):
         cells = list(self.SWEEP[:2]) + [
             GridCell(family="nope", n=24, program="greedy", engine="vector")

@@ -14,7 +14,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.congest.engine import StackedPlane, run_stacked, stack_ineligibility
+from repro.congest.engine import (
+    StackedPlane,
+    iter_stacked,
+    run_stacked,
+    stack_ineligibility,
+)
+from repro.errors import SimulationLimitError
 from repro.congest.network import Network
 from repro.congest.programs.bfs import BFSTreeProgram
 from repro.congest.programs.color_reduction import ColorReductionProgram
@@ -159,17 +165,6 @@ class TestStackedPlaneIsolation:
 
 
 class TestEligibility:
-    def test_mixed_sizes_raise(self):
-        networks = _networks("gnp", 20, [0]) + _networks("gnp", 24, [0])
-        with pytest.raises(BatchEligibilityError):
-            run_stacked(networks, DistributedGreedyProgram)
-
-    def test_mixed_budgets_raise(self):
-        graphs = [suite_instance("gnp", 20, seed=s).graph for s in range(2)]
-        networks = [Network.congest(graphs[0]), Network.local(graphs[1])]
-        with pytest.raises(BatchEligibilityError):
-            run_stacked(networks, DistributedGreedyProgram)
-
     def test_zero_instances_raise(self):
         with pytest.raises(BatchEligibilityError):
             run_stacked([], DistributedGreedyProgram)
@@ -233,3 +228,186 @@ def test_rounding_exec_missing_inputs_is_eligibility_error():
     networks = _networks("gnp", 16, range(2))
     with pytest.raises(BatchEligibilityError):
         run_stacked(networks, RoundingExecutionProgram, max_rounds=4)
+
+
+class TestRaggedStacking:
+    """Mixed-size (ragged) stacked planes: parity, streaming, transport.
+
+    Since the ragged layout, nothing requires instances to share a node
+    count (or the size-derived CONGEST bit budget): a mixed-size sweep
+    stacks into one block-diagonal plane with per-instance offset tables,
+    and the bit-for-bit parity contract extends unchanged — every instance
+    of the stack must reproduce its solo ``vector`` run field for field.
+    """
+
+    #: Mixed sizes spanning an order of magnitude, with a duplicated size
+    #: so local-id collisions across instances are exercised too.
+    SPECS = [("gnp", 20, 0), ("tree", 60, 1), ("gnp-dense", 150, 2), ("gnp", 20, 3)]
+
+    @classmethod
+    def _ragged_networks(cls):
+        return [
+            Network.congest(suite_instance(f, n, seed=s).graph)
+            for f, n, s in cls.SPECS
+        ]
+
+    @pytest.mark.parametrize("program", sorted(PROGRAMS))
+    def test_ragged_parity_field_for_field(self, program):
+        """n ∈ {20, 60, 150} stacked == the same solo vector runs."""
+        cls, max_rounds, inputs_fn = PROGRAMS[program]
+        networks = self._ragged_networks()
+        inputs = (
+            [inputs_fn(net.n, k) for k, net in enumerate(networks)]
+            if inputs_fn
+            else None
+        )
+        solo = [
+            Simulator(
+                net, cls, inputs=(inputs[k] if inputs else {}), engine="vector"
+            ).run(max_rounds=max_rounds(net.n))
+            for k, net in enumerate(networks)
+        ]
+        stacked = run_stacked(
+            networks,
+            cls,
+            inputs=inputs,
+            max_rounds=[max_rounds(net.n) for net in networks],
+        )
+        for k, (a, b) in enumerate(zip(solo, stacked)):
+            assert a.rounds == b.rounds, (program, k)
+            assert a.outputs == b.outputs, (program, k)
+            assert a.total_messages == b.total_messages, (program, k)
+            assert a.total_bits == b.total_bits, (program, k)
+            assert a.max_message_bits == b.max_message_bits, (program, k)
+            assert a.messages_per_round == b.messages_per_round, (program, k)
+            assert a.bits_per_round == b.bits_per_round, (program, k)
+            assert a == b
+
+    def test_ragged_mixed_budgets_stack(self):
+        """Budgets are per-instance: LOCAL and CONGEST instances co-stack."""
+        graphs = [suite_instance("gnp", 24, seed=s).graph for s in range(2)]
+        networks = [Network.congest(graphs[0]), Network.local(graphs[1])]
+        solo = [
+            Simulator(net, DistributedGreedyProgram, engine="vector").run(
+                max_rounds=8 * 24 + 16
+            )
+            for net in networks
+        ]
+        assert run_stacked(
+            networks, DistributedGreedyProgram, max_rounds=8 * 24 + 16
+        ) == solo
+
+    def test_early_terminating_instance_streams_first(self):
+        """iter_stacked yields a finished instance *before* siblings end.
+
+        Color reduction terminates in exactly n rounds, so the size order
+        is the completion order: the 20-node instances must surface while
+        the 150-node instance still has ~130 rounds to run.
+        """
+        networks = self._ragged_networks()
+        seen = []
+        for k, result in iter_stacked(
+            networks,
+            ColorReductionProgram,
+            max_rounds=[net.n + 4 for net in networks],
+        ):
+            assert result.all_halted
+            assert result.rounds == networks[k].n  # solo schedule per size
+            seen.append(k)
+        rounds_in_yield_order = [networks[k].n for k in seen]
+        assert rounds_in_yield_order == sorted(rounds_in_yield_order)
+        assert set(seen[:2]) == {0, 3}  # both 20-node instances first
+        assert seen[-1] == 2  # the 150-node instance last
+
+    def test_iter_stacked_matches_run_stacked(self):
+        networks = self._ragged_networks()
+        collected = {}
+        for k, result in iter_stacked(
+            networks, DistributedGreedyProgram, max_rounds=8 * 150 + 16
+        ):
+            collected[k] = result
+        assert [collected[k] for k in range(len(networks))] == run_stacked(
+            networks, DistributedGreedyProgram, max_rounds=8 * 150 + 16
+        )
+
+    def test_per_instance_round_limits(self):
+        """An instance exceeding its *own* limit aborts the whole group —
+        the signal the runner turns into a per-cell fallback that then
+        reproduces the solo ``SimulationLimitError`` exactly."""
+        networks = self._ragged_networks()
+        limits = [8 * net.n + 16 for net in networks]
+        limits[1] = 2  # the 60-node greedy run needs far more than 2 rounds
+        with pytest.raises(SimulationLimitError):
+            run_stacked(networks, DistributedGreedyProgram, max_rounds=limits)
+        with pytest.raises(BatchEligibilityError):
+            run_stacked(
+                networks, DistributedGreedyProgram, max_rounds=limits[:2]
+            )  # wrong arity: one limit per instance
+
+    def test_ragged_plane_offset_tables(self):
+        networks = self._ragged_networks()
+        plane = StackedPlane(networks)
+        sizes = [net.n for net in networks]
+        assert plane.local_n is None  # ragged: no single shared size
+        assert list(plane.local_ns) == sizes
+        assert list(plane.node_offsets) == [0, 20, 80, 230, 250]
+        assert plane.n == sum(sizes)
+        # Per-node tables: local ids restart at each instance boundary and
+        # local_n_of reports the owning instance's size.
+        for k, net in enumerate(networks):
+            lo, hi = plane.node_offsets[k], plane.node_offsets[k + 1]
+            assert list(plane.local_ids[lo:hi]) == list(range(net.n))
+            assert set(plane.local_n_of[lo:hi]) == {net.n}
+            assert set(plane.instance_of[lo:hi]) == {k}
+            # Slot containment: no row references a foreign instance.
+            s_lo, s_hi = plane.slot_offsets[k], plane.slot_offsets[k + 1]
+            neighbors = plane.indices[s_lo:s_hi]
+            assert neighbors.size == 0 or (
+                neighbors.min() >= lo and neighbors.max() < hi
+            )
+
+    def test_ragged_live_per_instance(self):
+        networks = self._ragged_networks()
+        plane = StackedPlane(networks)
+        live = np.zeros(plane.n, dtype=bool)
+        live[plane.node_offsets[1] : plane.node_offsets[1] + 7] = True
+        live[plane.node_offsets[3] :] = True
+        assert list(plane.live_per_instance(live)) == [0, 7, 0, 20]
+
+    def test_ragged_row_reductions_match_solo_planes(self):
+        from repro.congest.engine import CsrPlane
+
+        networks = self._ragged_networks()
+        plane = StackedPlane(networks)
+        values = np.arange(plane.nnz, dtype=np.int64) % 13
+        stacked_sum = plane.row_sum(values)
+        for k, net in enumerate(networks):
+            solo = CsrPlane(net)
+            lo, hi = plane.slot_offsets[k], plane.slot_offsets[k + 1]
+            n_lo, n_hi = plane.node_offsets[k], plane.node_offsets[k + 1]
+            assert list(stacked_sum[n_lo:n_hi]) == list(solo.row_sum(values[lo:hi]))
+
+    def test_ragged_sharedmem_round_trip(self):
+        """Mixed-size groups travel through the two-block transport."""
+        from repro.experiments.sharedmem import (
+            SharedStackedTopology,
+            attach_stacked,
+        )
+
+        networks = self._ragged_networks()
+        stack = SharedStackedTopology.publish(networks)
+        try:
+            rebuilt = attach_stacked(stack.handle)
+        finally:
+            stack.unlink()
+        assert [net.n for net in rebuilt] == [net.n for net in networks]
+        for original, copy_net in zip(networks, rebuilt):
+            assert copy_net.bit_budget == original.bit_budget
+            for v in range(original.n):
+                assert copy_net.neighbors(v) == original.neighbors(v)
+        # The rebuilt group stacks and splits identically to the original.
+        assert run_stacked(
+            rebuilt, DistributedGreedyProgram, max_rounds=8 * 150 + 16
+        ) == run_stacked(
+            networks, DistributedGreedyProgram, max_rounds=8 * 150 + 16
+        )

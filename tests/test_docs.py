@@ -18,7 +18,10 @@ from check_docs_links import check, doc_files, github_slug  # noqa: E402
 
 
 def test_docs_suite_exists():
-    for name in ("api.md", "architecture.md", "experiments.md", "engines.md"):
+    for name in (
+        "api.md", "architecture.md", "experiments.md", "engines.md",
+        "benchmarks.md",
+    ):
         assert (ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
 
@@ -29,6 +32,7 @@ def test_readme_links_docs_suite():
         "docs/architecture.md",
         "docs/engines.md",
         "docs/experiments.md",
+        "docs/benchmarks.md",
     ):
         assert name in readme, f"README does not link {name}"
 
@@ -41,7 +45,8 @@ def test_no_broken_intra_repo_links():
 def test_link_checker_sees_the_docs():
     names = {p.name for p in doc_files(ROOT)}
     assert {
-        "README.md", "api.md", "architecture.md", "experiments.md", "engines.md",
+        "README.md", "api.md", "architecture.md", "experiments.md",
+        "engines.md", "benchmarks.md",
     } <= names
 
 
@@ -73,8 +78,32 @@ def test_engines_doc_covers_batched_mode():
         "lemma310",
         "stackable",
         "strategy=\"batch\"",
+        "ragged",
+        "local_n_of",
+        "node_offsets",
+        "When batching helps",
     ):
         assert needle in engines, f"docs/engines.md lost section: {needle!r}"
+
+
+def test_benchmarks_doc_catalogs_every_artifact():
+    """docs/benchmarks.md covers each BENCH_*.json the repo produces."""
+    catalog = (ROOT / "docs" / "benchmarks.md").read_text()
+    import re
+    import subprocess
+
+    producers = (ROOT / "scripts" / "run_experiments.py").read_text()
+    produced = set(re.findall(r"BENCH_\w+\.json", producers))
+    assert {"BENCH_engines.json", "BENCH_batched.json", "BENCH_ragged.json"} <= produced
+    for artifact in sorted(produced):
+        assert artifact in catalog, f"{artifact} missing from docs/benchmarks.md"
+    # Committed reference artifacts are cataloged too.
+    tracked = subprocess.run(
+        ["git", "ls-files", "BENCH_*.json"],
+        cwd=ROOT, capture_output=True, text=True, check=False,
+    ).stdout.split()
+    for artifact in tracked:
+        assert artifact in catalog, f"committed {artifact} not cataloged"
 
 
 def test_no_tracked_pycache(tmp_path):
