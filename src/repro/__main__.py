@@ -12,14 +12,19 @@ Commands
 simulation engine (``fast`` flat-array default, ``reference`` baseline,
 ``vector`` numpy message plane); ``grid`` additionally takes ``--jobs``
 for shared-memory multiprocessing workers, ``--seeds`` for seed-ensemble
-sweeps, ``--strategy batch`` to execute sweeps as stacked multi-instance
-message planes — mixed ``--sizes`` stack too, as one *ragged* plane
-(``--batch-size`` caps the stack width, ``auto`` negotiates per program)
-— and ``--stream`` to print each record as a JSON line the moment it
-finishes: inside a stacked group, each record surfaces at its instance's
-termination, so early finishers of a ragged group print while larger
-siblings still run (``--quick`` runs a small self-contained mixed-size
-batched smoke grid).  The ``grid`` command is a thin shell over
+sweeps (``--seeds 0..9`` expands the inclusive range, ``--seeds 0,1,2``
+the explicit list), ``--strategy batch`` to execute sweeps as stacked
+multi-instance message planes — mixed ``--sizes`` stack too, as one
+*ragged* plane (``--batch-size`` caps the stack width, ``auto``
+negotiates per program; ``--target-cost N|auto`` switches to the
+adaptive cost-model scheduler, splitting groups at a per-plane cost
+target instead of a fixed width) — and ``--stream`` to print each record
+as a JSON line the moment it finishes: inside a stacked group, each
+record surfaces at its instance's termination — also across ``--jobs``
+workers, where records cross the pool boundary one at a time — so early
+finishers of a ragged group print while larger siblings still run
+(``--quick`` runs a small self-contained mixed-size batched smoke
+grid).  The ``grid`` command is a thin shell over
 :class:`repro.api.Experiment`; its ``--programs`` axis accepts every
 registered program, including ``lemma310``, ``rounding-exec``,
 ``tree-sum`` and the ``cds`` composite.
@@ -171,6 +176,15 @@ def cmd_bench(args) -> int:
     return 0 if report.all_checks_pass else 1
 
 
+def _parse_seeds(spec: str) -> list:
+    """Parse the ``--seeds`` axis: ``0,1,2`` list or ``0..9`` inclusive range."""
+    spec = spec.strip()
+    if ".." in spec:
+        lo, hi = spec.split("..", 1)
+        return list(range(int(lo), int(hi) + 1))
+    return [int(s) for s in spec.split(",") if s]
+
+
 def cmd_grid(args) -> int:
     import json as _json
 
@@ -196,11 +210,10 @@ def cmd_grid(args) -> int:
             else available_programs()
         )
         engines = [e for e in args.engines.split(",") if e]
-        seeds = (
-            [int(s) for s in args.seeds.split(",") if s]
-            if args.seeds
-            else [args.seed]
-        )
+        seeds = _parse_seeds(args.seeds) if args.seeds else [args.seed]
+    target_cost = (
+        args.target_cost if args.target_cost == "auto" else int(args.target_cost)
+    )
     experiment = (
         Experiment(*programs)
         .on(*families_list)
@@ -209,6 +222,7 @@ def cmd_grid(args) -> int:
         .seeds(seeds)
         .strategy(args.strategy)
         .batch_size(args.batch_size)
+        .target_cost(target_cost)
         .jobs(args.jobs)
     )
     try:
@@ -282,8 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--seed", type=int, default=7)
     p_grid.add_argument(
         "--seeds", default="",
-        help="comma list of seeds to sweep (default: just --seed); "
-        "the axis the batch strategy stacks",
+        help="seeds to sweep: a comma list (0,1,2) or an inclusive range "
+        "(0..9); default just --seed — the axis the batch strategy stacks",
     )
     p_grid.add_argument(
         "--strategy", default="cell", choices=["cell", "batch", "auto"],
@@ -295,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument(
         "--batch-size", type=int, default=0,
         help="max instances per stacked run (0 = one stack per group)",
+    )
+    p_grid.add_argument(
+        "--target-cost", default="0",
+        help="adaptive scheduler: per-plane cost target (integer), 'auto' "
+        "to negotiate from the grid and --jobs, or 0 (default) to keep "
+        "fixed --batch-size chunking; decisions land on records as 'plan'",
     )
     p_grid.add_argument(
         "--stream", action="store_true",

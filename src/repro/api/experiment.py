@@ -67,6 +67,7 @@ class Experiment:
         self._seeds: List[int] = [7]
         self._strategy: str = "auto"
         self._batch_size: int = 0
+        self._target_cost: int | str = 0
         self._jobs: int = 1
 
     # -- axes -----------------------------------------------------------------
@@ -120,6 +121,26 @@ class Experiment:
     def batch_size(self, size: int) -> "Experiment":
         """Cap the stack width of batched groups (0 = one stack per group)."""
         self._batch_size = int(size)
+        return self
+
+    def target_cost(self, cost: int | str) -> "Experiment":
+        """Per-plane cost target for the adaptive batch scheduler.
+
+        ``0`` (the default) keeps the fixed ``batch_size`` chunking — one
+        plane per group, no ``plan`` block on records.  A positive integer
+        splits batch groups at that estimated cost (plane width × round
+        limit × message bits, see :mod:`repro.experiments.scheduler`);
+        ``"auto"`` negotiates the target from the grid's total stackable
+        cost and :meth:`jobs`.  ``batch_size`` stays honored as a hard
+        width cap either way.
+        """
+        if cost == "auto":
+            self._target_cost = "auto"
+            return self
+        value = int(cost)
+        if value < 0:
+            raise ValueError("target_cost must be >= 0 or 'auto'")
+        self._target_cost = value
         return self
 
     def jobs(self, jobs: int) -> "Experiment":
@@ -216,6 +237,7 @@ class Experiment:
             "seeds": len(self._seeds),
             "strategy": self.resolved_strategy(),
             "batch_size": self._batch_size,
+            "target_cost": self._target_cost,
             "jobs": self._jobs,
         }
 
@@ -230,6 +252,7 @@ class Experiment:
             jobs=self._jobs,
             strategy=self.resolved_strategy(),
             batch_size=self._batch_size,
+            target_cost=self._target_cost,
         )
         return SweepResult(records=records, meta=self._meta())
 
@@ -238,8 +261,10 @@ class Experiment:
 
         Stacked batch groups stream *per instance*: when an instance's
         termination mask flips inside a (possibly ragged) group, its
-        record is yielded immediately — in-process; across workers a
-        group's records arrive together when its worker finishes.  The
+        record is yielded immediately — in-process and across pool
+        workers alike, where each record is pushed through the worker's
+        result channel the moment it exists, so concurrently-running
+        groups interleave here in true completion order.  The
         deterministic cell order can always be restored afterwards with
         :meth:`collect` — the streamed record *set* is identical to
         :meth:`run`'s.
@@ -251,6 +276,7 @@ class Experiment:
             jobs=self._jobs,
             strategy=self.resolved_strategy(),
             batch_size=self._batch_size,
+            target_cost=self._target_cost,
         )
 
     def collect(self, records: Iterable[RunRecord]) -> SweepResult:

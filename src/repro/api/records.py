@@ -20,7 +20,12 @@ class RunRecord:
 
     ``metrics`` is the per-program block (shared simulation totals plus the
     spec's summary values); ``batch`` annotates records produced by a
-    stacked multi-instance run with the stack width and group wall-clock.
+    stacked multi-instance run with the stack width and group wall-clock;
+    ``plan`` carries the adaptive scheduler's decision meta
+    (``scheduler/target_cost/est_cost/splits/unit/actual_wall_s``, plus a
+    ``fallback`` block when the record was re-dispatched after a lost
+    worker) and is ``None`` whenever the fixed planner ran — legacy
+    records and artifacts are unchanged.
     """
 
     cell: object  # a runner.GridCell (kept loose to avoid an import cycle)
@@ -29,6 +34,7 @@ class RunRecord:
     metrics: Optional[Dict[str, object]] = None
     error: Optional[Dict[str, str]] = None
     batch: Optional[Dict[str, object]] = None
+    plan: Optional[Dict[str, object]] = None
 
     @property
     def key(self) -> str:
@@ -42,6 +48,8 @@ class RunRecord:
             "key": self.key,
             "ok": self.ok,
         }
+        if self.plan is not None:
+            record["plan"] = dict(self.plan)
         if not self.ok:
             record["error"] = dict(self.error or {})
             return record
@@ -64,6 +72,7 @@ class RunRecord:
             metrics=dict(record["metrics"]) if "metrics" in record else None,  # type: ignore[arg-type]
             error=dict(record["error"]) if "error" in record else None,  # type: ignore[arg-type]
             batch=dict(record["batch"]) if "batch" in record else None,  # type: ignore[arg-type]
+            plan=dict(record["plan"]) if "plan" in record else None,  # type: ignore[arg-type]
         )
 
 

@@ -41,6 +41,7 @@ from repro.congest.engine.base import (
 from repro.congest.engine.batched import (
     StackedPlane,
     iter_stacked,
+    plane_cost,
     run_stacked,
     stack_ineligibility,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "kernel_for",
     "register_kernel",
     "iter_stacked",
+    "plane_cost",
     "run_stacked",
     "stack_ineligibility",
 ]

@@ -96,6 +96,32 @@ class UnknownStrategyError(ReproError):
         )
 
 
+class WorkerLostError(ReproError):
+    """A grid-pool worker process died (or stalled) mid-dispatch-unit.
+
+    The streaming pool path (:func:`repro.experiments.runner.run_grid`
+    with ``jobs > 1``) detects the loss through its sentinel protocol —
+    the worker's result channel hits EOF with its claimed unit
+    unfinished, or no sentinel arrives within the stall timeout — and
+    **never surfaces this error to callers**: the parent re-dispatches
+    the unit's not-yet-yielded cells per cell in-process, and each
+    fallback record carries this error's structured description in its
+    ``plan.fallback`` block.  The class exists so the event is a typed,
+    inspectable member of the library error family rather than a bare
+    string.
+    """
+
+    def __init__(self, unit: int, pid: "int | None", exitcode: "int | None"):
+        self.unit = unit
+        self.pid = pid
+        self.exitcode = exitcode
+        super().__init__(
+            f"pool worker (pid={pid}, exitcode={exitcode}) lost while "
+            f"running dispatch unit {unit}; unfinished cells re-dispatched "
+            "in-process"
+        )
+
+
 class MessageTooLargeError(CongestError):
     """A node program attempted to send a message above the bit budget."""
 

@@ -43,15 +43,28 @@ Design points:
   identical to per-cell runs — groups that cannot stack (ineligible
   program, any error) transparently fall back to the per-cell path, so
   the strategy only ever changes wall-clock, never records.
-* **Streaming, per record.** Execution is organized as *dispatch units*
-  (one cell, or one stacked batch group), and the streaming iterators
-  yield record by record in completion order.  In-process, a stacked
-  group streams *per instance*: the moment an instance's termination mask
-  flips, its record surfaces — early-finishing small instances interleave
-  ahead of their larger siblings.  Across workers, records surface via
-  the pool's unordered result queue as each unit's worker finishes.
-  Either way callers can render progress or pipeline downstream work
-  while the grid is still running.
+* **Streaming, per record — in-process and across the pool.** Execution
+  is organized as *dispatch units* (one cell, or one stacked batch
+  group), and the streaming iterators yield record by record in
+  completion order.  A stacked group streams *per instance*: the moment
+  an instance's termination mask flips, its record surfaces — under
+  ``jobs > 1`` the worker pushes each ``(index, record)`` through the
+  pool's result channel immediately (a sentinel protocol over per-worker
+  pipes, see :func:`_iter_units_pool`), so early finishers of one group
+  interleave with records of concurrently-running groups instead of
+  crossing the process boundary together at group end.  A worker that
+  dies mid-unit is detected through the same protocol (channel EOF, or
+  a stall timeout) and its not-yet-yielded cells are transparently
+  re-dispatched per cell in-process, annotated with the structured
+  :class:`~repro.errors.WorkerLostError` description.
+* **Adaptive batch scheduling.** With a ``target_cost`` (an integer, or
+  ``"auto"`` to negotiate from the grid and ``jobs``), the fixed
+  ``batch_size`` chunking of ``strategy="batch"`` is replaced by the
+  cost-model planner (:mod:`repro.experiments.scheduler`): groups split
+  at a per-plane cost target derived from plane width, round limits and
+  ``MessageSpec`` bit volume, with a tail-steal pass for idle workers;
+  ``batch_size`` stays honored as a hard width cap.  Every scheduler
+  decision is recorded on the produced records (``plan`` block).
 
 The typed record objects live in :mod:`repro.api.records`; the functions
 here keep returning the legacy dict shape for compatibility (it is also
@@ -62,6 +75,7 @@ deprecation shims for the :class:`repro.api.Experiment` builder surface.
 from __future__ import annotations
 
 import json
+import os
 import time
 import warnings
 from dataclasses import dataclass
@@ -85,7 +99,16 @@ from repro.api.registry import (
 )
 from repro.congest.engine import available_engines
 from repro.congest.network import Network
-from repro.errors import UnknownEngineError, UnknownStrategyError
+from repro.errors import (
+    UnknownEngineError,
+    UnknownStrategyError,
+    WorkerLostError,
+)
+from repro.experiments.scheduler import (
+    PlanUnit,
+    adaptive_plan,
+    resolve_target_cost,
+)
 from repro.graphs.suite import suite_instance
 
 __all__ = [
@@ -256,9 +279,25 @@ def run_cell(
     return _run_cell_record(cell, network=network).to_dict()
 
 
+def _attach_plan(
+    record: RunRecord,
+    meta: Optional[Dict[str, object]],
+    wall_s: float,
+) -> RunRecord:
+    """Stamp a scheduler decision (plus measured wall) onto one record.
+
+    No-op when the fixed planner produced the unit (``meta is None``) —
+    legacy records keep their exact shape.
+    """
+    if meta is not None:
+        record.plan = dict(meta, actual_wall_s=round(wall_s, 6))
+    return record
+
+
 def _iter_batched_group_records(
     cells: Sequence[GridCell],
     networks: Optional[Sequence[Optional[Network]]] = None,
+    plan_meta: Optional[Dict[str, object]] = None,
 ) -> Iterator[Tuple[int, RunRecord]]:
     """Execute one batch group (same family/program/engine; any mix of
     sizes and seeds) as a single ragged stacked run, yielding
@@ -316,6 +355,7 @@ def _iter_batched_group_records(
                 batch={"k": len(cells), "stream_latency_s": now - start},
                 metrics=spec.cell_metrics(nets[k], sim),
             )
+            _attach_plan(record, plan_meta, now - start)
             done.add(k)
             yield k, record
             # Restart the marginal-wall clock only after the consumer hands
@@ -325,7 +365,11 @@ def _iter_batched_group_records(
     except Exception:  # noqa: BLE001 - stacking is an optimization only
         for i, (cell, net) in enumerate(zip(cells, nets)):
             if i not in done:
-                yield i, _run_cell_record(cell, network=net)
+                start = time.perf_counter()
+                record = _run_cell_record(cell, network=net)
+                yield i, _attach_plan(
+                    record, plan_meta, time.perf_counter() - start
+                )
 
 
 def _run_batched_group_records(
@@ -349,18 +393,18 @@ def run_batched_group(
     ]
 
 
-def _batch_plan(
-    cells: Sequence[GridCell], batch_size: int
-) -> List[Tuple[str, List[int]]]:
-    """Partition cell indices into dispatch units for ``strategy="batch"``.
+def _batch_plan(cells: Sequence[GridCell], batch_size: int) -> List[PlanUnit]:
+    """Fixed-chunking dispatch plan for ``strategy="batch"``.
 
-    Returns ``("batch", indices)`` units for stackable groups — vector
-    engine, registry-batchable program, ≥ 2 cells sharing a
+    Returns ``("batch", indices, None)`` units for stackable groups —
+    vector engine, registry-batchable program, ≥ 2 cells sharing a
     :attr:`GridCell.group_key` (which spans sizes *and* seeds: mixed-size
     groups stack as one ragged plane), chunked to ``batch_size`` (0 =
-    unlimited) — and ``("cell", [index])`` units for everything else.
-    Units are emitted in first-occurrence order; record order is restored
-    by index afterwards, so the strategy cannot reorder results.
+    unlimited) — and ``("cell", [index], None)`` units for everything
+    else.  Units are emitted in first-occurrence order; record order is
+    restored by index afterwards, so the strategy cannot reorder results.
+    The ``None`` meta marks the fixed planner: no ``plan`` block is
+    attached to the records, keeping the legacy record shape.
     """
     stackable = set(batchable_programs())
     groups: Dict[tuple, List[int]] = {}
@@ -372,51 +416,100 @@ def _batch_plan(
             groups[key] = []
             order.append(key)
         groups[key].append(i)
-    plan: List[Tuple[str, List[int]]] = []
+    plan: List[PlanUnit] = []
     for key in order:
         indices = groups[key]
         if key[0] == "solo" or len(indices) < 2:
-            plan.extend(("cell", [i]) for i in indices)
+            plan.extend(("cell", [i], None) for i in indices)
             continue
         step = batch_size if batch_size > 0 else len(indices)
         for lo in range(0, len(indices), step):
             chunk = indices[lo : lo + step]
             if len(chunk) < 2:
-                plan.append(("cell", chunk))
+                plan.append(("cell", chunk, None))
             else:
-                plan.append(("batch", chunk))
+                plan.append(("batch", chunk, None))
     return plan
 
 
 def _plan_units(
-    cells: Sequence[GridCell], strategy: str, batch_size: int
-) -> List[Tuple[str, List[int]]]:
-    """The dispatch units of one grid run under ``strategy``."""
-    if strategy == "batch":
+    cells: Sequence[GridCell],
+    strategy: str,
+    batch_size: int,
+    target_cost: int | str = 0,
+    jobs: int = 1,
+) -> List[PlanUnit]:
+    """The dispatch units of one grid run under ``strategy``.
+
+    ``target_cost`` selects the planner for ``strategy="batch"``: ``0``
+    keeps the fixed ``batch_size`` chunking (the default — records carry
+    no ``plan`` block), a positive integer runs the adaptive cost-model
+    planner at that per-plane target, and ``"auto"`` negotiates the
+    target from the grid's total stackable cost and ``jobs`` (resolving
+    to the fixed planner when there is nothing to parallelize).
+    """
+    if strategy != "batch":
+        return [("cell", [i], None) for i in range(len(cells))]
+    resolved = (
+        resolve_target_cost(cells, jobs) if target_cost == "auto" else int(target_cost)
+    )
+    if resolved <= 0:
         return _batch_plan(cells, batch_size)
-    return [("cell", [i]) for i in range(len(cells))]
+    return adaptive_plan(cells, resolved, batch_size=batch_size, jobs=jobs)
 
 
 # -- dispatch-unit execution ---------------------------------------------------
 
-
-def _run_cell_task(task) -> List[RunRecord]:
-    """Pool worker: attach the published topology (if any) and run."""
-    cell, handle = task
-    network = None
-    if handle is not None:
-        from repro.experiments.sharedmem import attach_network
-
-        try:
-            network = attach_network(handle)
-        except Exception:  # pragma: no cover - attach races are host-specific
-            network = None  # fall back to regenerating in the worker
-    return [_run_cell_record(cell, network=network)]
+#: Parent-side drain poll interval (seconds).  Only bounds how often the
+#: stall clock is checked — record delivery itself is event-driven.
+_POOL_POLL_S = 0.25
 
 
-def _run_batch_task(task) -> List[RunRecord]:
-    """Pool worker: attach a published stacked topology group and run it."""
-    cells, handle = task
+def _test_crash_hook(unit: int, sent: int) -> None:
+    """Deterministic worker-crash injection for the pool-loss tests.
+
+    ``REPRO_POOLSTREAM_KILL="<unit>:<after>"`` hard-kills the worker
+    (``os._exit``, no cleanup, no exception — exactly what a segfault or
+    OOM kill looks like to the parent) right after it has streamed
+    ``after`` records of dispatch unit ``unit``.  Unset in production.
+    """
+    spec = os.environ.get("REPRO_POOLSTREAM_KILL")
+    if not spec:
+        return
+    try:
+        kill_unit, after = (int(part) for part in spec.split(":"))
+    except ValueError:
+        return
+    if unit == kill_unit and sent >= after:
+        os._exit(1)
+
+
+def _run_unit_streaming(
+    kind: str,
+    payload,
+    handle,
+    meta: Optional[Dict[str, object]],
+) -> Iterator[Tuple[int, RunRecord]]:
+    """Execute one dispatch unit, yielding ``(local_index, record)``.
+
+    Worker-side unit body: attach the published shared-memory topology
+    (regenerate on attach failure), then run — per cell, or through the
+    in-group streaming generator so each stacked instance surfaces at its
+    termination-mask flip.
+    """
+    if kind == "cell":
+        network = None
+        if handle is not None:
+            from repro.experiments.sharedmem import attach_network
+
+            try:
+                network = attach_network(handle)
+            except Exception:  # pragma: no cover - attach races are host-specific
+                network = None  # fall back to regenerating in the worker
+        start = time.perf_counter()
+        record = _run_cell_record(payload, network=network)
+        yield 0, _attach_plan(record, meta, time.perf_counter() - start)
+        return
     networks: Optional[List[Optional[Network]]] = None
     if handle is not None:
         from repro.experiments.sharedmem import attach_stacked
@@ -425,23 +518,50 @@ def _run_batch_task(task) -> List[RunRecord]:
             networks = list(attach_stacked(handle))
         except Exception:  # pragma: no cover - attach races are host-specific
             networks = None
-    return _run_batched_group_records(cells, networks=networks)
+    yield from _iter_batched_group_records(
+        payload, networks=networks, plan_meta=meta
+    )
 
 
-def _run_indexed_unit(task) -> Tuple[int, List[RunRecord]]:
-    """Pool worker for streaming dispatch: one plan unit per task.
+def _pool_stream_worker(task_queue, conn) -> None:
+    """Worker loop: pull dispatch units, push every record immediately.
 
-    Returns ``(unit_index, records)`` so the parent can match unordered
-    completions back to plan positions.
+    The per-record sentinel protocol over the worker's private pipe:
+
+    * ``("unit_start", unit, None)`` — the worker claimed unit ``unit``;
+      from here until ``unit_done`` the parent attributes a death of this
+      worker to that unit.
+    * ``("record", unit, (local, record))`` — one cell's record, sent the
+      moment it exists (for stacked groups: at the instance's
+      termination-mask flip), never buffered until group end.
+    * ``("unit_done", unit, None)`` — the unit's generator is exhausted.
+    * ``("worker_done", None, None)`` — clean shutdown (queue drained).
+
+    ``Pipe`` sends are synchronous writes from this process only, so a
+    crash cannot interleave with (or corrupt) another worker's stream —
+    the reason each worker gets a private channel rather than one shared
+    result queue with feeder threads.
     """
-    index, (kind, payload, handle) = task
-    if kind == "cell":
-        return index, _run_cell_task((payload, handle))
-    return index, _run_batch_task((payload, handle))
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            unit, kind, payload, handle, meta = task
+            conn.send(("unit_start", unit, None))
+            sent = 0
+            for local, record in _run_unit_streaming(kind, payload, handle, meta):
+                conn.send(("record", unit, (local, record)))
+                sent += 1
+                _test_crash_hook(unit, sent)
+            conn.send(("unit_done", unit, None))
+        conn.send(("worker_done", None, None))
+    finally:
+        conn.close()
 
 
 def _iter_units_sequential(
-    cells: List[GridCell], plan: List[Tuple[str, List[int]]]
+    cells: List[GridCell], plan: List[PlanUnit]
 ) -> Iterator[Tuple[int, RunRecord]]:
     """In-process execution, one record at a time, topologies cached by key.
 
@@ -460,41 +580,62 @@ def _iter_units_sequential(
                 networks[key] = None
         return networks[key]
 
-    for kind, indices in plan:
+    for kind, indices, meta in plan:
         if kind == "cell":
             cell = cells[indices[0]]
-            yield indices[0], _run_cell_record(cell, network=net_for(cell))
+            start = time.perf_counter()
+            record = _run_cell_record(cell, network=net_for(cell))
+            yield indices[0], _attach_plan(
+                record, meta, time.perf_counter() - start
+            )
         else:
             group = [cells[i] for i in indices]
             for local, record in _iter_batched_group_records(
-                group, networks=[net_for(c) for c in group]
+                group, networks=[net_for(c) for c in group], plan_meta=meta
             ):
                 yield indices[local], record
 
 
 def _iter_units_pool(
     cells: List[GridCell],
-    plan: List[Tuple[str, List[int]]],
+    plan: List[PlanUnit],
     jobs: int,
 ) -> Iterator[Tuple[int, RunRecord]]:
-    """Worker-pool execution: publish topologies once, stream completions.
+    """Worker-pool execution: publish topologies once, stream *per record*.
 
-    Units are consumed through ``imap_unordered`` — the pool's result
-    queue — so each unit's records surface the moment its worker finishes,
-    not when the whole map returns.  Unlike the sequential path, a batch
-    group's records cross the process boundary together when the group's
-    worker finishes (unit granularity); in-group per-instance streaming is
-    an in-process (``jobs=1``) property.
+    Workers pull dispatch units from a shared task queue and push each
+    ``(local, record)`` through their private result pipe the moment the
+    record exists (see :func:`_pool_stream_worker`), so in-group streaming
+    crosses the process boundary: an early-terminating instance of one
+    stacked group surfaces here while its siblings — and other groups on
+    other workers — are still running.  The parent drains all pipes with
+    ``multiprocessing.connection.wait`` and yields records as they
+    arrive, interleaved across concurrent units in true completion order.
+
+    **Worker loss.** A pipe hitting EOF (or, with
+    ``REPRO_POOLSTREAM_STALL_S`` set, a global stall) means its worker
+    died mid-unit.  The parent re-dispatches exactly the cells of that
+    unit that have not been yielded yet — per cell, in-process — so the
+    record set survives any crash (at-least-once delivery with parent-side
+    dedupe); the replacement records carry a ``plan.fallback`` block
+    describing the :class:`~repro.errors.WorkerLostError`.  Units the dead
+    worker never claimed are still in the queue and migrate to surviving
+    workers; if every worker dies, the parent finishes the grid itself.
     """
     import multiprocessing
+    from multiprocessing.connection import wait as connection_wait
 
     from repro.experiments.sharedmem import SharedStackedTopology, SharedTopology
 
+    ctx = multiprocessing.get_context()
     published: Dict[tuple, Optional[SharedTopology]] = {}
     stacks: List[SharedStackedTopology] = []
-    tasks = []
+    procs: Dict[object, object] = {}
+    readers: List[object] = []
+    task_queue = None
     try:
-        for kind, indices in plan:
+        tasks = []
+        for unit, (kind, indices, meta) in enumerate(plan):
             if kind == "cell":
                 cell = cells[indices[0]]
                 key = cell.topology_key
@@ -505,7 +646,7 @@ def _iter_units_pool(
                         published[key] = None
                 topology = published[key]
                 tasks.append(
-                    ("cell", cell, topology.handle if topology else None)
+                    (unit, "cell", cell, topology.handle if topology else None, meta)
                 )
             else:
                 group = [cells[i] for i in indices]
@@ -518,14 +659,119 @@ def _iter_units_pool(
                     handle = stack.handle
                 except Exception:  # noqa: BLE001 - workers regenerate
                     handle = None
-                tasks.append(("batch", group, handle))
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            for index, records in pool.imap_unordered(
-                _run_indexed_unit, list(enumerate(tasks))
-            ):
-                for offset, record in zip(plan[index][1], records):
-                    yield offset, record
+                tasks.append((unit, "batch", group, handle, meta))
+
+        workers = min(jobs, len(tasks))
+        task_queue = ctx.Queue()
+        for task in tasks:
+            task_queue.put(task)
+        for _ in range(workers):
+            task_queue.put(None)  # one shutdown sentinel per worker
+        for _ in range(workers):
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_pool_stream_worker,
+                args=(task_queue, send_conn),
+                daemon=True,
+            )
+            proc.start()
+            send_conn.close()  # parent keeps only the read end
+            readers.append(recv_conn)
+            procs[recv_conn] = proc
+
+        # Cells of each unit not yet yielded (by local index).  Records are
+        # deduped against this on arrival, making redelivery after a crash
+        # re-dispatch safe: at-least-once from workers, exactly-once out.
+        pending: Dict[int, set] = {
+            unit: set(range(len(plan[unit][1]))) for unit in range(len(plan))
+        }
+        claimed: Dict[object, set] = {}  # reader -> units started, not done
+        stall_s = float(os.environ.get("REPRO_POOLSTREAM_STALL_S", "0") or 0)
+        last_progress = time.monotonic()
+
+        def redispatch(
+            unit: int, pid: Optional[int], exitcode: Optional[int]
+        ) -> Iterator[Tuple[int, RunRecord]]:
+            """Finish a lost unit's unfinished cells in-process, per cell."""
+            kind, indices, meta = plan[unit]
+            fallback = {
+                "type": WorkerLostError.__name__,
+                "message": str(WorkerLostError(unit, pid, exitcode)),
+            }
+            for local in sorted(pending[unit]):
+                start = time.perf_counter()
+                record = _run_cell_record(cells[indices[local]])
+                record.plan = dict(
+                    meta or {},
+                    fallback=dict(fallback),
+                    actual_wall_s=round(time.perf_counter() - start, 6),
+                )
+                yield indices[local], record
+            pending[unit].clear()
+
+        def worker_lost(reader) -> Iterator[Tuple[int, RunRecord]]:
+            """Handle a dead worker: reap it, re-dispatch its open units."""
+            proc = procs.pop(reader)
+            readers.remove(reader)
+            try:
+                reader.close()
+            except OSError:  # pragma: no cover - already closed by the OS
+                pass
+            proc.join(timeout=5)
+            for unit in sorted(claimed.pop(reader, set())):
+                if pending[unit]:
+                    yield from redispatch(unit, proc.pid, proc.exitcode)
+
+        while readers and any(pending.values()):
+            ready = connection_wait(readers, timeout=_POOL_POLL_S)
+            if not ready:
+                if stall_s and time.monotonic() - last_progress > stall_s:
+                    # Global stall: treat every live worker as lost.
+                    for reader in list(readers):
+                        procs[reader].terminate()
+                        yield from worker_lost(reader)
+                continue
+            for reader in ready:
+                try:
+                    tag, unit, body = reader.recv()
+                except EOFError:
+                    yield from worker_lost(reader)
+                    continue
+                last_progress = time.monotonic()
+                if tag == "unit_start":
+                    claimed.setdefault(reader, set()).add(unit)
+                elif tag == "record":
+                    local, record = body
+                    if local in pending[unit]:
+                        pending[unit].discard(local)
+                        yield plan[unit][1][local], record
+                elif tag == "unit_done":
+                    claimed.get(reader, set()).discard(unit)
+                    if pending[unit]:  # defensive: done without all records
+                        yield from redispatch(unit, procs[reader].pid, None)
+                elif tag == "worker_done":
+                    proc = procs.pop(reader)
+                    readers.remove(reader)
+                    reader.close()
+                    proc.join(timeout=5)
+        # Every worker is gone but cells remain (mass crash): the parent
+        # finishes the grid itself so the record set is complete anyway.
+        for unit in range(len(plan)):
+            if pending[unit]:
+                yield from redispatch(unit, None, None)
     finally:
+        for proc in list(procs.values()):
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+        for reader in list(readers):
+            try:
+                reader.close()
+            except OSError:  # pragma: no cover
+                pass
+        if task_queue is not None:
+            task_queue.close()
+            task_queue.cancel_join_thread()
         for topology in published.values():
             if topology is not None:
                 topology.unlink()
@@ -538,11 +784,14 @@ def _iter_units(
     jobs: int,
     strategy: str,
     batch_size: int,
+    target_cost: int | str = 0,
 ) -> Iterator[Tuple[int, RunRecord]]:
     """Yield ``(cell_index, record)`` per record, in completion order."""
     if strategy not in STRATEGIES:
         raise UnknownStrategyError(strategy, available_strategies())
-    plan = _plan_units(cells, strategy, batch_size)
+    plan = _plan_units(
+        cells, strategy, batch_size, target_cost=target_cost, jobs=jobs
+    )
     if jobs <= 1 or len(plan) <= 1:
         yield from _iter_units_sequential(cells, plan)
     else:
@@ -554,26 +803,30 @@ def iter_grid_records(
     jobs: int = 1,
     strategy: str = "cell",
     batch_size: int = 0,
+    target_cost: int | str = 0,
 ) -> Iterator[RunRecord]:
     """Stream typed records in *completion* order, record by record.
 
     Stacked batch groups stream per instance: when an instance's
     termination mask flips inside a ragged group, its record is yielded
-    immediately (in-process execution; across workers a group's records
-    arrive together when its worker finishes).  The record set is
-    identical to :func:`run_grid_records`'s — only the order differs (and
-    only under worker parallelism or batching); sort by cell position to
-    restore the deterministic order.  Bad axis values raise eagerly, at
-    the call — not on first iteration — so the error surfaces at the
-    faulty call site even if the iterator is handed off or never
-    consumed.
+    immediately — in-process *and* across pool workers, where each record
+    is pushed through the worker's result channel the moment it exists,
+    so records of concurrently-running units interleave here in true
+    completion order.  The record set is identical to
+    :func:`run_grid_records`'s — only the order differs (and only under
+    worker parallelism or batching); sort by cell position to restore the
+    deterministic order.  Bad axis values raise eagerly, at the call —
+    not on first iteration — so the error surfaces at the faulty call
+    site even if the iterator is handed off or never consumed.
     """
     cells = list(cells)
     if strategy not in STRATEGIES:
         raise UnknownStrategyError(strategy, available_strategies())
 
     def generate() -> Iterator[RunRecord]:
-        for _index, record in _iter_units(cells, jobs, strategy, batch_size):
+        for _index, record in _iter_units(
+            cells, jobs, strategy, batch_size, target_cost=target_cost
+        ):
             yield record
 
     return generate()
@@ -584,20 +837,25 @@ def run_grid_records(
     jobs: int = 1,
     strategy: str = "cell",
     batch_size: int = 0,
+    target_cost: int | str = 0,
 ) -> List[RunRecord]:
     """Run every cell; typed records in deterministic cell order.
 
     ``strategy="cell"`` executes one simulation per cell;
     ``strategy="batch"`` stacks each group of vector-engine sweep cells —
     seeds and sizes alike, as one ragged multi-instance plane —
-    (``batch_size`` caps the stack width; 0 means one stack per group).
-    Results come back in cell order under every combination, and each
-    unique (family, n, seed) topology is generated exactly once — reused
-    in-process sequentially, published through shared memory to workers.
+    (``batch_size`` caps the stack width; 0 means one stack per group;
+    ``target_cost`` switches to the adaptive cost-model planner, see
+    :func:`_plan_units`).  Results come back in cell order under every
+    combination, and each unique (family, n, seed) topology is generated
+    exactly once — reused in-process sequentially, published through
+    shared memory to workers.
     """
     cells = list(cells)
     results: List[Optional[RunRecord]] = [None] * len(cells)
-    for index, record in _iter_units(cells, jobs, strategy, batch_size):
+    for index, record in _iter_units(
+        cells, jobs, strategy, batch_size, target_cost=target_cost
+    ):
         results[index] = record
     return results  # type: ignore[return-value]
 
@@ -607,28 +865,38 @@ def run_grid(
     jobs: int = 1,
     strategy: str = "cell",
     batch_size: int = 0,
+    target_cost: int | str = 0,
     stream: bool = False,
 ):
     """Run every cell, optionally across ``jobs`` worker processes.
 
     Returns legacy dict records (the JSON artifact shape) in cell order.
     With ``stream=True`` it instead returns an iterator that yields each
-    record as it completes — per instance inside stacked batch groups, in
-    completion order, incremental — for progress rendering and pipelined
-    consumers; the record *set* is identical either way.  Typed-record
-    equivalents: :func:`run_grid_records` / :func:`iter_grid_records`.
+    record as it completes — per instance inside stacked batch groups,
+    across pool workers too, in completion order, incremental — for
+    progress rendering and pipelined consumers; the record *set* is
+    identical either way.  Typed-record equivalents:
+    :func:`run_grid_records` / :func:`iter_grid_records`.
     """
     if stream:
         return (
             rec.to_dict()
             for rec in iter_grid_records(
-                cells, jobs=jobs, strategy=strategy, batch_size=batch_size
+                cells,
+                jobs=jobs,
+                strategy=strategy,
+                batch_size=batch_size,
+                target_cost=target_cost,
             )
         )
     return [
         rec.to_dict()
         for rec in run_grid_records(
-            cells, jobs=jobs, strategy=strategy, batch_size=batch_size
+            cells,
+            jobs=jobs,
+            strategy=strategy,
+            batch_size=batch_size,
+            target_cost=target_cost,
         )
     ]
 

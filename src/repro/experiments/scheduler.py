@@ -1,0 +1,282 @@
+"""Adaptive batch scheduler: cost-model planning for ``strategy="batch"``.
+
+The fixed ``batch_size`` chunking the runner shipped with treats every
+cell as equally expensive: a width cap of 10 makes one plane out of ten
+20-node instances and another out of ten 150-node instances, and under
+worker parallelism the second plane stragglers the pool while the first
+worker idles.  This module replaces the cap with a **cost model**: each
+cell's estimated execution cost is its plane width (``n``), times its
+registry round limit, times its program's widest ``MessageSpec`` wire
+size — the exact quantity :func:`repro.congest.engine.batched.plane_cost`
+defines, chosen because it is deterministic, additive across instances
+and strictly monotone in width, rounds and bits.  Groups are then split
+to a **target cost** instead of a target width, so every plane carries
+roughly the same amount of work regardless of how sizes are mixed.
+
+Three decisions, all deterministic functions of their inputs:
+
+* :func:`estimate_cell_cost` — the per-cell cost.  Round limits come
+  from the spec's ``batch_max_rounds`` recipe evaluated on a size proxy
+  (the registered recipes are functions of ``n`` only); message bits
+  from the program's declared :class:`~repro.congest.engine.vector.
+  MessageSpec` list with every field charged ``bit_length(n)``.
+* :func:`resolve_target_cost` — what ``target_cost="auto"`` negotiates:
+  the total stackable cost divided over ``2 * jobs`` planes (the factor
+  of two oversubscribes the pool so an early-finishing worker always
+  finds another plane instead of idling), and ``0`` — scheduling
+  disabled, one plane per group — when there is nothing to parallelize
+  (``jobs <= 1`` or no stackable group).
+* :func:`adaptive_plan` — the planner.  Cells are grouped exactly like
+  the fixed planner (same :attr:`~repro.experiments.runner.GridCell.
+  group_key` stacking rules), each group is split greedily at the target
+  cost **in cell order** (plans never reorder results), ``batch_size``
+  remains honored as a hard width cap for back-compat, and a final
+  **tail-steal pass** halves the costliest plane while the pool has
+  fewer planes than workers — the static form of stealing an oversized
+  group's tail onto an idle worker.
+
+Every unit of the resulting plan carries a scheduler-decision meta block
+``{scheduler, target_cost, est_cost, splits, unit}`` which the runner
+attaches to each produced record as ``plan`` (plus the measured
+``actual_wall_s``), so grid payloads and BENCH artifacts record what the
+scheduler decided next to what it cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.registry import batchable_programs, program_spec
+from repro.congest.engine.batched import plane_cost
+from repro.congest.message import FIELD_FRAMING_BITS, MESSAGE_HEADER_BITS
+
+__all__ = [
+    "PlanUnit",
+    "adaptive_plan",
+    "estimate_cell_cost",
+    "estimate_message_bits",
+    "estimate_round_limit",
+    "resolve_target_cost",
+]
+
+#: A dispatch unit: kind ("cell" | "batch"), cell indices, scheduler meta
+#: (``None`` when the fixed planner produced the unit).
+PlanUnit = Tuple[str, List[int], Optional[Dict[str, object]]]
+
+#: ``resolve_target_cost`` plans this many planes per worker, so a worker
+#: finishing its plane early always finds another instead of idling.
+OVERSUBSCRIBE = 2
+
+#: Round-limit fallback (per instance) when a spec carries no recipe.
+_FALLBACK_ROUND_FACTOR = 4
+
+
+class _SizeProxy:
+    """Stand-in for a :class:`~repro.congest.network.Network` of size ``n``.
+
+    The registered ``batch_max_rounds`` recipes are arithmetic in
+    ``net.n`` (``8 * net.n + 16`` and the like); evaluating them on this
+    proxy prices a cell without generating its graph — planning must stay
+    O(cells), not O(edges).
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int):
+        self.n = int(n)
+
+
+def estimate_round_limit(program: str, n: int) -> int:
+    """The cell's registry round limit, evaluated on a size proxy."""
+    spec = program_spec(program)
+    if spec.batch_max_rounds is not None:
+        try:
+            return int(spec.batch_max_rounds(_SizeProxy(n)))
+        except Exception:  # noqa: BLE001 - a recipe needing a real Network
+            pass
+    return _FALLBACK_ROUND_FACTOR * int(n) + 16
+
+
+def estimate_message_bits(program: str, n: int) -> int:
+    """Widest per-message wire size of the program's declared specs.
+
+    Every integer field is charged ``bit_length(n)`` — node ids and
+    n-bounded counters dominate the registered message families — on top
+    of the exact header/framing constants.  Programs without
+    ``message_specs`` (non-vectorized) are charged a single one-field
+    message; their cells never stack, so the value only prices solo
+    fallback units.
+    """
+    spec = program_spec(program)
+    cls = spec.batch_factory or spec.program
+    field_bits = max(1, int(n)).bit_length()
+    specs = getattr(cls, "message_specs", ()) or ()
+    if not specs:
+        return MESSAGE_HEADER_BITS + FIELD_FRAMING_BITS + field_bits
+    return max(
+        MESSAGE_HEADER_BITS + m.arity * (FIELD_FRAMING_BITS + field_bits)
+        for m in specs
+    )
+
+
+def estimate_cell_cost(cell) -> int:
+    """Estimated execution cost of one grid cell (exact integer)."""
+    n = int(cell.n)
+    return plane_cost(
+        [n],
+        [estimate_round_limit(cell.program, n)],
+        [estimate_message_bits(cell.program, n)],
+    )
+
+
+def _stackable_groups(cells) -> Tuple[Dict[tuple, List[int]], List[tuple]]:
+    """Group cell indices exactly like the fixed planner does."""
+    stackable = set(batchable_programs())
+    groups: Dict[tuple, List[int]] = {}
+    order: List[tuple] = []
+    for i, cell in enumerate(cells):
+        batchable = cell.engine == "vector" and cell.program in stackable
+        key = ("group",) + cell.group_key if batchable else ("solo", i)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+    return groups, order
+
+
+def resolve_target_cost(cells, jobs: int) -> int:
+    """The per-plane cost target ``target_cost="auto"`` negotiates.
+
+    Total stackable cost spread over ``OVERSUBSCRIBE * jobs`` planes;
+    ``0`` (adaptive scheduling disabled — one plane per group, the
+    in-process optimum) when ``jobs <= 1`` or no group can stack.
+    """
+    if jobs <= 1:
+        return 0
+    groups, order = _stackable_groups(cells)
+    total = 0
+    for key in order:
+        if key[0] == "group" and len(groups[key]) >= 2:
+            total += sum(estimate_cell_cost(cells[i]) for i in groups[key])
+    if total == 0:
+        return 0
+    planes = OVERSUBSCRIBE * jobs
+    return max(1, -(-total // planes))
+
+
+def _chunk_by_cost(
+    indices: List[int],
+    costs: List[int],
+    target_cost: int,
+    batch_size: int,
+) -> List[List[int]]:
+    """Split one group's indices (in order) at the cost target.
+
+    A chunk closes when adding the next cell would push it past
+    ``target_cost`` — a single cell above the target gets a plane of its
+    own — or past the ``batch_size`` width cap (0 = uncapped).
+    """
+    cap = batch_size if batch_size > 0 else len(indices)
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    current_cost = 0
+    for index, cost in zip(indices, costs):
+        if current and (current_cost + cost > target_cost or len(current) >= cap):
+            chunks.append(current)
+            current, current_cost = [], 0
+        current.append(index)
+        current_cost += cost
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def adaptive_plan(
+    cells,
+    target_cost: int,
+    batch_size: int = 0,
+    jobs: int = 1,
+) -> List[PlanUnit]:
+    """Cost-model dispatch plan for one grid run (deterministic).
+
+    Same inputs — cells, target, cap, jobs — always produce the same
+    plan.  Chunks preserve cell order within each group and groups keep
+    first-occurrence order, so the plan can never reorder results;
+    width-1 chunks degrade to plain ``cell`` units exactly like the
+    fixed planner's leftovers.
+    """
+    if target_cost <= 0:
+        raise ValueError("adaptive_plan needs a positive target_cost")
+    groups, order = _stackable_groups(cells)
+    # Per-group chunk lists first, so the steal pass can rebalance across
+    # groups before unit indices and meta are finalized.
+    chunked: List[Tuple[tuple, List[List[int]], List[int]]] = []
+    for key in order:
+        indices = groups[key]
+        if key[0] == "solo" or len(indices) < 2:
+            chunked.append((key, [[i] for i in indices], []))
+            continue
+        costs = [estimate_cell_cost(cells[i]) for i in indices]
+        chunks = _chunk_by_cost(indices, costs, target_cost, batch_size)
+        chunked.append((key, chunks, costs))
+
+    def chunk_cost(chunk: List[int]) -> int:
+        return sum(estimate_cell_cost(cells[i]) for i in chunk)
+
+    # Tail steal: while the pool would have idle workers, halve the
+    # costliest stackable plane (width permitting) so its tail can run
+    # concurrently.  batch_size already bounds widths, so halving cannot
+    # violate the cap.
+    if jobs > 1:
+        while True:
+            planes = [
+                (chunk_cost(chunk), gi, pos, len(chunk))
+                for gi, (key, chunks, _) in enumerate(chunked)
+                if key[0] == "group"
+                for pos, chunk in enumerate(chunks)
+                if len(chunk) >= 2
+            ]
+            splittable = [p for p in planes if p[3] >= 4]
+            if len(planes) >= jobs or not splittable:
+                break
+            _cost, gi, pos, _width = max(
+                splittable, key=lambda p: (p[0], -p[1], -p[2])
+            )
+            chunks = chunked[gi][1]
+            victim = chunks[pos]
+            half = len(victim) // 2
+            chunks[pos : pos + 1] = [victim[:half], victim[half:]]
+
+    plan: List[PlanUnit] = []
+    for key, chunks, _costs in chunked:
+        splits = len(chunks)
+        for chunk in chunks:
+            meta: Dict[str, object] = {
+                "scheduler": "adaptive",
+                "target_cost": int(target_cost),
+                "est_cost": chunk_cost(chunk),
+                "splits": splits if key[0] == "group" else 1,
+                "unit": len(plan),
+            }
+            kind = "batch" if key[0] == "group" and len(chunk) >= 2 else "cell"
+            if kind == "cell":
+                for i in chunk:
+                    solo_meta = dict(meta, est_cost=estimate_cell_cost(cells[i]))
+                    solo_meta["unit"] = len(plan)
+                    plan.append(("cell", [i], solo_meta))
+            else:
+                plan.append(("batch", list(chunk), meta))
+    return plan
+
+
+def _plan_summary(plan: Sequence[PlanUnit]) -> Dict[str, object]:
+    """Aggregate view of one plan for payload meta and logging."""
+    batch_units = [u for u in plan if u[0] == "batch"]
+    est = [int(u[2]["est_cost"]) for u in plan if u[2] is not None]
+    return {
+        "units": len(plan),
+        "batch_units": len(batch_units),
+        "widths": [len(u[1]) for u in batch_units],
+        "est_cost_max": max(est) if est else 0,
+        "est_cost_total": sum(est),
+    }

@@ -15,7 +15,12 @@ Lifecycle: the parent owns the blocks (:meth:`SharedTopology.publish` …
 :meth:`SharedTopology.unlink`); workers attach, copy the few hundred
 kilobytes of CSR data into process-local arrays, and detach immediately
 (:func:`attach_network`), so no cross-process lifetime coordination is
-needed beyond "the parent unlinks after the pool is done".
+needed beyond "the parent unlinks after the pool is done".  The
+streaming pool (`runner._iter_units_pool`) relies on exactly that
+weak contract: handles ride inside dispatch-unit tasks on the pull
+queue, any worker can attach any published handle (which is what lets
+an unclaimed unit migrate to a surviving worker after a crash), and
+the parent unlinks everything only after the drain loop finishes.
 """
 
 from __future__ import annotations

@@ -1,0 +1,199 @@
+"""Per-record streaming across the pool boundary (``jobs > 1``).
+
+The contract under test: a stacked batch group executed by a pool worker
+pushes **each** record through the worker's result channel the moment
+its instance's termination mask flips — never buffered until group end —
+and a worker dying mid-unit costs nothing but wall-clock: the parent
+re-dispatches exactly the not-yet-yielded cells in-process, so the
+record set (and every metrics block) is identical to the sequential
+run's.
+
+The decisive no-buffering probe is the deterministic crash hook
+(``REPRO_POOLSTREAM_KILL``): hard-kill a worker right after it streamed
+one record of a group.  If records were buffered worker-side until group
+end, the parent would have received *nothing* before the crash and every
+cell of the unit would come back as a fallback record; with true
+per-record streaming, exactly the pre-crash records survive and only the
+remainder is re-dispatched.  Timing-free, so it cannot flake.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.runner import (
+    GridCell,
+    _plan_units,
+    iter_grid_records,
+    run_grid_records,
+)
+
+
+def _sweep_cells(sizes=(20, 30), seeds=(0, 1, 2), family="gnp"):
+    return [
+        GridCell(family, n, "greedy", "vector", seed=s) for n in sizes for s in seeds
+    ]
+
+
+def _metrics_by_key(records):
+    assert all(rec.ok for rec in records), [
+        rec.error for rec in records if not rec.ok
+    ]
+    return {rec.key: rec.metrics for rec in records}
+
+
+class TestPoolParity:
+    def test_pool_batch_matches_sequential(self):
+        cells = _sweep_cells()
+        seq = _metrics_by_key(run_grid_records(cells, jobs=1, strategy="batch"))
+        pool = _metrics_by_key(
+            run_grid_records(cells, jobs=2, strategy="batch", batch_size=3)
+        )
+        assert pool == seq
+
+    def test_pool_adaptive_matches_sequential(self):
+        cells = _sweep_cells(sizes=(20, 30, 40))
+        seq = _metrics_by_key(run_grid_records(cells, jobs=1, strategy="batch"))
+        pool = _metrics_by_key(
+            run_grid_records(cells, jobs=2, strategy="batch", target_cost="auto")
+        )
+        assert pool == seq
+
+    def test_default_records_carry_no_plan_block(self):
+        # target_cost=0 (the default) must keep the legacy record shape:
+        # jobs/strategy parity comparisons rely on it.
+        cells = _sweep_cells()
+        for rec in run_grid_records(cells, jobs=2, strategy="batch", batch_size=3):
+            assert rec.plan is None
+            assert "plan" not in rec.to_dict()
+
+
+class TestPoolInGroupStreaming:
+    def test_records_stream_individually_across_pool(self, monkeypatch):
+        """Kill a worker after 1 streamed record: with per-record delivery
+        the parent already holds that record, so exactly width-1 cells of
+        the unit come back as crash-fallback records — group-at-a-time
+        buffering would have lost all of them."""
+        cells = _sweep_cells(sizes=(20,), seeds=(0, 1, 2, 3))
+        plan = _plan_units(cells, "batch", 0)
+        assert plan[0][0] == "batch" and len(plan[0][1]) == 4
+        # A second unit so the pool path engages (len(plan) > 1).
+        cells.append(GridCell("gnp", 20, "greedy", "fast", seed=0))
+
+        seq = _metrics_by_key(run_grid_records(cells, jobs=1, strategy="batch"))
+        monkeypatch.setenv("REPRO_POOLSTREAM_KILL", "0:1")
+        pool = run_grid_records(cells, jobs=2, strategy="batch")
+        assert _metrics_by_key(pool) == seq
+
+        fallbacks = [
+            rec for rec in pool if rec.plan and "fallback" in rec.plan
+        ]
+        streamed = [
+            rec
+            for rec in pool
+            if rec.batch is not None and (rec.plan is None or "fallback" not in rec.plan)
+        ]
+        # One record crossed the boundary before the crash ...
+        assert len(streamed) == 1
+        # ... and only the remaining three were re-dispatched.
+        assert len(fallbacks) == 3
+        for rec in fallbacks:
+            assert rec.plan["fallback"]["type"] == "WorkerLostError"
+            assert "dispatch unit 0" in rec.plan["fallback"]["message"]
+
+    def test_stream_latency_monotone_within_unit(self):
+        """Records of one stacked unit carry non-decreasing stream
+        latencies in arrival order — each was stamped at its own
+        termination flip, not at group teardown."""
+        cells = _sweep_cells(sizes=(20, 30, 40), seeds=(0, 1))
+        arrivals = []
+        for rec in iter_grid_records(
+            cells, jobs=2, strategy="batch", target_cost="auto"
+        ):
+            assert rec.ok
+            arrivals.append(rec)
+        by_unit = {}
+        for rec in arrivals:
+            if rec.batch is not None:
+                assert rec.plan is not None
+                by_unit.setdefault(rec.plan["unit"], []).append(
+                    rec.batch["stream_latency_s"]
+                )
+        assert by_unit, "expected at least one stacked unit"
+        for latencies in by_unit.values():
+            assert latencies == sorted(latencies)
+
+
+class TestWorkerLoss:
+    def test_worker_kill_preserves_record_set(self, monkeypatch):
+        cells = _sweep_cells(sizes=(20, 30), seeds=(0, 1, 2))
+        seq = _metrics_by_key(run_grid_records(cells, jobs=1, strategy="batch"))
+        monkeypatch.setenv("REPRO_POOLSTREAM_KILL", "0:1")
+        pool = run_grid_records(cells, jobs=2, strategy="batch", batch_size=3)
+        assert _metrics_by_key(pool) == seq
+
+    def test_kill_on_adaptive_plan_keeps_scheduler_meta(self, monkeypatch):
+        cells = _sweep_cells(sizes=(20, 30), seeds=(0, 1, 2))
+        monkeypatch.setenv("REPRO_POOLSTREAM_KILL", "0:1")
+        pool = run_grid_records(
+            cells, jobs=2, strategy="batch", target_cost="auto"
+        )
+        assert all(rec.ok for rec in pool)
+        fallbacks = [rec for rec in pool if rec.plan and "fallback" in rec.plan]
+        assert fallbacks
+        for rec in fallbacks:
+            assert rec.plan["scheduler"] == "adaptive"
+            assert rec.plan["actual_wall_s"] >= 0
+
+    def test_unclaimed_units_migrate_to_survivors(self, monkeypatch):
+        """Units the dead worker never pulled stay in the queue and run on
+        the surviving worker — every record still arrives."""
+        cells = _sweep_cells(sizes=(20, 30, 40), seeds=(0, 1, 2))
+        seq = _metrics_by_key(run_grid_records(cells, jobs=1, strategy="batch"))
+        monkeypatch.setenv("REPRO_POOLSTREAM_KILL", "0:2")
+        pool = run_grid_records(cells, jobs=2, strategy="batch", batch_size=3)
+        assert _metrics_by_key(pool) == seq
+
+
+class TestConsumerIndependence:
+    def test_slow_consumer_gets_complete_set(self):
+        """A consumer slower than the producers must not stall workers or
+        drop records: the parent's drain loop buffers arrivals, workers
+        never block on the consumer."""
+        cells = _sweep_cells(sizes=(20, 30), seeds=(0, 1, 2))
+        expected = {cell.key for cell in cells}
+        seen = []
+        for rec in iter_grid_records(
+            cells, jobs=2, strategy="batch", batch_size=3
+        ):
+            time.sleep(0.02)  # slower than any single instance's sim time
+            seen.append(rec)
+        assert {rec.key for rec in seen} == expected
+        assert all(rec.ok for rec in seen)
+
+    def test_abandoned_iterator_cleans_up(self):
+        """Closing the streaming iterator mid-run terminates workers and
+        unlinks shared memory (the finally path) without hanging."""
+        cells = _sweep_cells(sizes=(20, 30), seeds=(0, 1, 2))
+        it = iter_grid_records(cells, jobs=2, strategy="batch", batch_size=3)
+        first = next(it)
+        assert first.ok
+        it.close()  # must not hang or leak
+
+
+@pytest.mark.parametrize("target_cost", [0, "auto"])
+def test_stream_and_run_record_sets_match(target_cost):
+    cells = _sweep_cells(sizes=(20, 30), seeds=(0, 1))
+    ran = _metrics_by_key(
+        run_grid_records(
+            cells, jobs=2, strategy="batch", target_cost=target_cost
+        )
+    )
+    streamed = _metrics_by_key(
+        list(
+            iter_grid_records(
+                cells, jobs=2, strategy="batch", target_cost=target_cost
+            )
+        )
+    )
+    assert streamed == ran
