@@ -24,9 +24,13 @@ record surfaces at its instance's termination — also across ``--jobs``
 workers, where records cross the pool boundary one at a time — so early
 finishers of a ragged group print while larger siblings still run
 (``--quick`` runs a small self-contained mixed-size batched smoke
-grid).  The ``grid`` command is a thin shell over
-:class:`repro.api.Experiment`; its ``--programs`` axis accepts every
-registered program, including ``lemma310``, ``rounding-exec``,
+grid).  ``--certify [MODE]`` routes every eligible record through the
+certification oracle (:mod:`repro.oracle`): the record gains a
+``quality`` block with the certified optimum bound and measured
+approximation ratios (bare ``--certify`` means ``--certify auto``, the
+exact → ILP → LP bound ladder).  The ``grid`` command is a thin shell
+over :class:`repro.api.Experiment`; its ``--programs`` axis accepts
+every registered program, including ``lemma310``, ``rounding-exec``,
 ``tree-sum`` and the ``cds`` composite.
 
 Examples
@@ -39,6 +43,8 @@ Examples
         --engines vector --seeds 0,1,2,3,4,5,6,7 --strategy batch
     python -m repro grid --quick --strategy batch
     python -m repro grid --quick --stream
+    python -m repro grid --families gnp --sizes 40 --programs greedy \
+        --engines vector --seeds 0..4 --certify
 """
 
 from __future__ import annotations
@@ -225,6 +231,8 @@ def cmd_grid(args) -> int:
         .target_cost(target_cost)
         .jobs(args.jobs)
     )
+    if args.certify is not None:
+        experiment.certify(args.certify)
     try:
         if args.stream:
             # Emit one JSON line per record the moment its dispatch unit
@@ -321,6 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each record as a JSON line the moment it finishes "
         "(completion order; per instance inside stacked batch groups), "
         "then the ordered report",
+    )
+    p_grid.add_argument(
+        "--certify", nargs="?", const="auto", default=None,
+        choices=["auto", "exact", "ilp", "lp"],
+        help="certify each eligible record against the oracle's bound "
+        "ladder (exact B&B / HiGHS ILP / covering-LP lower bound); "
+        "records gain a 'quality' block with the measured ratios — "
+        "bare --certify means --certify auto",
     )
     p_grid.add_argument(
         "--quick", action="store_true",

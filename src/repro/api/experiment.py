@@ -69,6 +69,7 @@ class Experiment:
         self._batch_size: int = 0
         self._target_cost: int | str = 0
         self._jobs: int = 1
+        self._certify: Optional[str] = None
 
     # -- axes -----------------------------------------------------------------
 
@@ -146,6 +147,27 @@ class Experiment:
     def jobs(self, jobs: int) -> "Experiment":
         """Worker processes (topologies travel via shared memory)."""
         self._jobs = int(jobs)
+        return self
+
+    def certify(self, oracle: str = "auto") -> "Experiment":
+        """Attach the certification oracle's ``quality`` block to records.
+
+        ``oracle`` picks the bound ladder mode (see
+        :func:`repro.oracle.certify`): ``"auto"`` walks exact → ILP → LP,
+        ``"exact"``/``"ilp"`` pin a rung, ``"lp"`` computes only the LP
+        lower bound.  Certification runs parent-side as records arrive,
+        sharing one in-process oracle cache across the whole grid; only
+        specs declaring a ``quality_metric`` are certified.  Without this
+        call, records are byte-identical to uncertified runs.
+        """
+        from repro.oracle import ORACLE_MODES
+
+        if oracle not in ORACLE_MODES:
+            raise ValueError(
+                f"unknown oracle mode {oracle!r}; choose from "
+                f"{', '.join(ORACLE_MODES)}"
+            )
+        self._certify = oracle
         return self
 
     # -- resolution -----------------------------------------------------------
@@ -229,7 +251,7 @@ class Experiment:
         return cells
 
     def _meta(self) -> Dict[str, object]:
-        return {
+        meta: Dict[str, object] = {
             "families": list(self._families),
             "sizes": list(self._sizes),
             "programs": self._selected_programs(),
@@ -240,6 +262,9 @@ class Experiment:
             "target_cost": self._target_cost,
             "jobs": self._jobs,
         }
+        if self._certify is not None:
+            meta["certify"] = self._certify
+        return meta
 
     # -- execution ------------------------------------------------------------
 
@@ -253,6 +278,7 @@ class Experiment:
             strategy=self.resolved_strategy(),
             batch_size=self._batch_size,
             target_cost=self._target_cost,
+            certify=self._certify,
         )
         return SweepResult(records=records, meta=self._meta())
 
@@ -277,6 +303,7 @@ class Experiment:
             strategy=self.resolved_strategy(),
             batch_size=self._batch_size,
             target_cost=self._target_cost,
+            certify=self._certify,
         )
 
     def collect(self, records: Iterable[RunRecord]) -> SweepResult:

@@ -25,7 +25,11 @@ class RunRecord:
     (``scheduler/target_cost/est_cost/splits/unit/actual_wall_s``, plus a
     ``fallback`` block when the record was re-dispatched after a lost
     worker) and is ``None`` whenever the fixed planner ran — legacy
-    records and artifacts are unchanged.
+    records and artifacts are unchanged.  ``quality`` is the certification
+    oracle's verdict (``oracle/method/status/opt/lp_bound/ratio_vs_opt/
+    ratio_vs_lp/...``), attached only when a grid runs with ``certify``
+    set — records from uncertified runs are byte-identical to before the
+    oracle existed.
     """
 
     cell: object  # a runner.GridCell (kept loose to avoid an import cycle)
@@ -35,6 +39,7 @@ class RunRecord:
     error: Optional[Dict[str, str]] = None
     batch: Optional[Dict[str, object]] = None
     plan: Optional[Dict[str, object]] = None
+    quality: Optional[Dict[str, object]] = None
 
     @property
     def key(self) -> str:
@@ -57,6 +62,8 @@ class RunRecord:
         if self.batch is not None:
             record["batch"] = dict(self.batch)
         record["metrics"] = dict(self.metrics or {})
+        if self.quality is not None:
+            record["quality"] = dict(self.quality)
         return record
 
     @classmethod
@@ -73,6 +80,7 @@ class RunRecord:
             error=dict(record["error"]) if "error" in record else None,  # type: ignore[arg-type]
             batch=dict(record["batch"]) if "batch" in record else None,  # type: ignore[arg-type]
             plan=dict(record["plan"]) if "plan" in record else None,  # type: ignore[arg-type]
+            quality=dict(record["quality"]) if "quality" in record else None,  # type: ignore[arg-type]
         )
 
 

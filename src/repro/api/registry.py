@@ -80,6 +80,18 @@ class ProgramSpec:
     composite:
         ``True`` for multi-stage pipeline specs; excluded from the default
         grid axes (request them explicitly by name).
+    quality_metric:
+        Name of the metrics-block entry holding the spec's solution size
+        (e.g. ``"ds_size"``), or ``None`` for specs that produce no
+        certifiable solution.  Setting it opts the spec into the
+        certification oracle (``--certify`` grids attach a ``quality``
+        block to its records) *and* into the registry-wide paper-bound
+        tripwire test, which certifies every such spec on the small zoo.
+    quality_bound:
+        ``max_degree -> float``: the spec's documented approximation
+        guarantee against OPT (e.g. :func:`repro.analysis.bounds.greedy_bound`
+        for the sequential greedy's ``H(Delta+1) <= ln(Delta+1)+1``).
+        ``None`` means certified ratios are reported but not gated.
     """
 
     name: str
@@ -94,6 +106,8 @@ class ProgramSpec:
     engines: Optional[Tuple[str, ...]] = None
     default_params: Mapping[str, object] = field(default_factory=dict)
     composite: bool = False
+    quality_metric: Optional[str] = None
+    quality_bound: Optional[Callable[[int], float]] = None
 
     @property
     def batchable(self) -> bool:

@@ -20,12 +20,22 @@ from repro.analysis.verify import (
     require_dominating_set,
 )
 from repro.baselines.greedy import greedy_mds
-from repro.errors import GraphError
+from repro.errors import GraphError, SearchBudgetExceededError
 from repro.graphs.normalize import require_normalized
 
 
-def exact_mds(graph: nx.Graph, node_limit: int = 64) -> Set[int]:
-    """Provably minimum dominating set (branch and bound)."""
+def exact_mds(
+    graph: nx.Graph,
+    node_limit: int = 64,
+    search_budget: Optional[int] = None,
+) -> Set[int]:
+    """Provably minimum dominating set (branch and bound).
+
+    ``search_budget`` caps the number of explored search nodes; exceeding
+    it raises :class:`~repro.errors.SearchBudgetExceededError` so callers
+    with a fallback (the certification oracle's ILP rung) can bound the
+    worst case.  ``None`` (the default) searches to completion.
+    """
     require_normalized(graph)
     n = graph.number_of_nodes()
     if n == 0:
@@ -42,9 +52,16 @@ def exact_mds(graph: nx.Graph, node_limit: int = 64) -> Set[int]:
 
     best: Set[int] = greedy_mds(graph)
     best_size = len(best)
+    explored = 0
 
     def search(chosen: Set[int], covered: FrozenSet[int]) -> None:
-        nonlocal best, best_size
+        nonlocal best, best_size, explored
+        explored += 1
+        if search_budget is not None and explored > search_budget:
+            raise SearchBudgetExceededError(
+                f"exact_mds exceeded its search budget of {search_budget} "
+                f"nodes on a {n}-node graph"
+            )
         if len(chosen) >= best_size:
             return
         uncovered_count = n - len(covered)

@@ -273,6 +273,7 @@ def run_distributed_greedy(
 
 # -- experiment-surface registration ------------------------------------------
 
+from repro.analysis.bounds import greedy_bound  # noqa: E402
 from repro.api.registry import ProgramSpec, register_program  # noqa: E402
 
 
@@ -293,5 +294,7 @@ register_program(
         summarize=_summary,
         batch_factory=DistributedGreedyProgram,
         batch_max_rounds=lambda net: 8 * net.n + 16,
+        quality_metric="ds_size",
+        quality_bound=greedy_bound,
     )
 )

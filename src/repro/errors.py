@@ -166,4 +166,36 @@ class RandomnessError(ReproError):
 
 
 class LPError(ReproError):
-    """The LP oracle failed to produce a feasible solution."""
+    """The LP oracle failed to produce a feasible solution.
+
+    Carries the HiGHS status code (``scipy.optimize.linprog``'s
+    ``result.status``: 1 = iteration limit, 2 = infeasible, 3 = unbounded,
+    4 = numerical difficulties) so callers can tell a genuinely infeasible
+    instance from a solver hiccup — the certification oracle falls back to
+    a weaker bound on numerical failure instead of aborting a sweep, but
+    must *not* mask infeasibility (see :class:`LPInfeasibleError`).
+    """
+
+    def __init__(self, message: str, status: "int | None" = None):
+        self.status = status
+        super().__init__(message)
+
+
+class LPInfeasibleError(LPError):
+    """The covering LP itself is infeasible (HiGHS status 2).
+
+    Distinguished from generic :class:`LPError` because infeasibility is a
+    statement about the *instance*, not the solver: no fallback oracle can
+    produce a bound for it, so sweeps surface it instead of degrading.
+    """
+
+
+class SearchBudgetExceededError(ReproError):
+    """A branch-and-bound search exceeded its exploration budget.
+
+    Raised by :func:`repro.baselines.exact.exact_mds` when ``search_budget``
+    is set and the search tree outgrows it.  The certification oracle
+    catches this to drop from the exact rung to the ILP rung of its bound
+    ladder; the default (no budget) preserves the solver's original
+    run-to-completion behaviour.
+    """

@@ -15,10 +15,11 @@ from repro.derand.coloring_based import factor_two_via_coloring
 from repro.experiments.harness import ExperimentReport
 from repro.fractional.raising import kmw06_initial_fds
 from repro.graphs.generators import gnp_graph, regular_graph
+from repro.oracle import lp_lower_bound
 
 COLUMNS = [
     "graph", "iter", "r_before", "r_after", "size_before", "size_after",
-    "inflation", "allowed", "colors",
+    "inflation", "allowed", "lp_opt", "ratio_vs_lp", "colors",
 ]
 
 
@@ -37,6 +38,11 @@ def run(fast: bool = True, eps2: float = 0.3, iterations: int = 4,
         graphs.append(("gnp-150", gnp_graph(150, 0.05, seed=seed)))
 
     for name, graph in graphs:
+        # The LP optimum lower-bounds every feasible fractional solution,
+        # so each iteration's size must stay above it (checked per row) —
+        # the factor-two loop trades fractionality for size, never
+        # feasibility.
+        lp_opt = lp_lower_bound(graph)
         initial = kmw06_initial_fds(graph, eps=0.25)
         values = dict(initial.fds.values)
         r = 1.0 / fractionality_of(values)
@@ -66,10 +72,13 @@ def run(fast: bool = True, eps2: float = 0.3, iterations: int = 4,
                 size_after=round(size_after, 3),
                 inflation=round(inflation, 4),
                 allowed=round(max(allowed, 1.0 + eps2), 4),
+                lp_opt=round(lp_opt, 2),
+                ratio_vs_lp=round(size_after / max(lp_opt, 1e-12), 3),
                 colors=out.num_colors,
             )
             report.check("inflation_bounded", size_after <= out.result.initial_estimate + 1e-6)
             report.check("fractionality_doubles", r_after <= r / 1.8 + 1.0)
+            report.check("frac_above_lp", size_after >= lp_opt - 1e-6)
             values = new_values
             r = r_after
     report.notes.append(

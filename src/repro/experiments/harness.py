@@ -217,15 +217,22 @@ def seed_sweep_report(
     program-specific summary value (``value_key``: e.g. ``ds_size`` for
     the greedy MDS program, ``colors`` for color reduction).  Checks
     recorded: ``no_failures`` and ``all_halted`` on every row; callers add
-    their own claim-specific checks on the raw rows.  Accepts legacy dict
-    records or typed :class:`~repro.api.records.RunRecord` objects.
+    their own claim-specific checks on the raw rows.  Records carrying a
+    certification ``quality`` block (a ``--certify`` run) additionally
+    get ``ratio_vs_opt`` / ``ratio_vs_lp`` columns and a
+    ``quality_within_bound`` check gating every certified row against its
+    spec's documented guarantee.  Accepts legacy dict records or typed
+    :class:`~repro.api.records.RunRecord` objects.
     """
     from repro.api.records import as_record_dicts
 
     results = as_record_dicts(results)
+    certified = any("quality" in rec for rec in results)
     columns = ["seed", "n", "Delta", "rounds", "messages", "total_bits"]
     if value_key:
         columns.append(value_key)
+    if certified:
+        columns += ["ratio_vs_opt", "ratio_vs_lp"]
     columns.append("batched")
     report = ExperimentReport(
         experiment=experiment, claim=claim, columns=columns
@@ -252,6 +259,21 @@ def seed_sweep_report(
             row[value_key] = metrics.get(value_key, "")  # type: ignore[index]
             if isinstance(metrics.get(value_key), (int, float)):  # type: ignore[index]
                 values.append(float(metrics[value_key]))  # type: ignore[index]
+        if certified:
+            quality = rec.get("quality") or {}
+            ratio_opt = quality.get("ratio_vs_opt")  # type: ignore[union-attr]
+            ratio_lp = quality.get("ratio_vs_lp")  # type: ignore[union-attr]
+            row["ratio_vs_opt"] = (
+                f"{ratio_opt:.3f}" if ratio_opt is not None else "-"
+            )
+            row["ratio_vs_lp"] = (
+                f"{ratio_lp:.3f}" if ratio_lp is not None else "-"
+            )
+            if "within_bound" in quality:  # type: ignore[operator]
+                report.check(
+                    "quality_within_bound",
+                    bool(quality["within_bound"]),  # type: ignore[index]
+                )
         report.add_row(**row)
     if values:
         mean = sum(values) / len(values)

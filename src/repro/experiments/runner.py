@@ -65,6 +65,15 @@ Design points:
   ``MessageSpec`` bit volume, with a tail-steal pass for idle workers;
   ``batch_size`` stays honored as a hard width cap.  Every scheduler
   decision is recorded on the produced records (``plan`` block).
+* **Parent-side certification.** With ``certify`` set (an oracle mode,
+  see :mod:`repro.oracle`), every success record of a spec that declares
+  a ``quality_metric`` gains a ``quality`` block: the certification
+  ladder bounds the cell's optimum and the measured approximation ratios
+  are stamped on the record, gated against the spec's documented
+  ``quality_bound``.  Certification runs in the **parent** as records
+  arrive — never in workers — so all cells share one oracle cache
+  (repeat topologies certify for free) and records re-dispatched after a
+  lost worker are certified exactly like first-try records.
 
 The typed record objects live in :mod:`repro.api.records`; the functions
 here keep returning the legacy dict shape for compatibility (it is also
@@ -798,14 +807,118 @@ def _iter_units(
         yield from _iter_units_pool(cells, plan, jobs)
 
 
+# -- parent-side certification -------------------------------------------------
+
+
+def _certify_record(record: RunRecord, oracle: str) -> RunRecord:
+    """Attach the oracle's ``quality`` block to one success record.
+
+    Runs in the parent so every cell of the grid shares one in-process
+    oracle cache (cells revisiting a topology at the same solution size —
+    another engine, another strategy, a post-crash re-dispatch — reuse
+    the certificate instead of re-solving) and so pool workers never
+    carry solver state.  Only specs that declare a ``quality_metric``
+    whose value is present in the record's metrics are certified; other
+    records pass through untouched.  An oracle failure degrades to a
+    ``status="failed"`` quality block — certification must never turn a
+    measured success record into a grid failure.
+    """
+    from repro.errors import ReproError
+    from repro.oracle import certify, oracle_cache, topology_cache_key
+
+    if not record.ok or record.metrics is None:
+        return record
+    spec = program_spec(record.cell.program)
+    if spec.quality_metric is None or spec.quality_metric not in record.metrics:
+        return record
+    size = int(record.metrics[spec.quality_metric])  # type: ignore[arg-type]
+    cache = oracle_cache()
+    hits_before = cache.hits
+    try:
+        graph = suite_instance(
+            record.cell.family, record.cell.n, seed=record.cell.seed
+        ).graph
+        certificate = certify(
+            graph,
+            size,
+            oracle=oracle,
+            cache_key=topology_cache_key(
+                record.cell.family, record.cell.n, record.cell.seed
+            ),
+        )
+    except ReproError as exc:
+        record.quality = {
+            "oracle": oracle,
+            "status": "failed",
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+        return record
+    quality: Dict[str, object] = {
+        "oracle": oracle,
+        "method": certificate.method,
+        "status": certificate.status,
+        "opt": certificate.opt,
+        "lp_bound": round(certificate.lp_bound, 6),
+        "ratio_vs_opt": (
+            round(certificate.ratio_vs_opt, 6)
+            if certificate.ratio_vs_opt is not None
+            else None
+        ),
+        "ratio_vs_lp": round(certificate.ratio_vs_lp, 6),
+        "solve_wall_s": round(certificate.solve_wall_s, 6),
+        "cache_hit": cache.hits > hits_before,
+    }
+    if spec.quality_bound is not None:
+        max_degree = record.metrics.get("max_degree")
+        if max_degree is None:
+            max_degree = max((d for _, d in graph.degree()), default=0)
+        bound = float(spec.quality_bound(int(max_degree)))  # type: ignore[arg-type]
+        # Gate on the proven-optimum ratio when a ladder rung closed the
+        # instance; otherwise the LP ratio stands in (conservative: it is
+        # never smaller than the true ratio, so within-via-LP is a proof).
+        ratio = (
+            certificate.ratio_vs_opt
+            if certificate.ratio_vs_opt is not None
+            else certificate.ratio_vs_lp
+        )
+        quality["bound"] = round(bound, 6)
+        quality["within_bound"] = bool(ratio <= bound + 1e-9)
+    record.quality = quality
+    return record
+
+
+def _iter_certified(
+    pairs: Iterator[Tuple[int, RunRecord]], certify: Optional[str]
+) -> Iterator[Tuple[int, RunRecord]]:
+    """Certify records as they stream by (no-op without an oracle mode)."""
+    if certify is None:
+        yield from pairs
+        return
+    from repro.oracle import ORACLE_MODES
+
+    if certify not in ORACLE_MODES:
+        raise ValueError(
+            f"unknown certify mode {certify!r}; choose from "
+            f"{', '.join(ORACLE_MODES)}"
+        )
+    for index, record in pairs:
+        yield index, _certify_record(record, certify)
+
+
 def iter_grid_records(
     cells: Iterable[GridCell],
     jobs: int = 1,
     strategy: str = "cell",
     batch_size: int = 0,
     target_cost: int | str = 0,
+    certify: Optional[str] = None,
 ) -> Iterator[RunRecord]:
     """Stream typed records in *completion* order, record by record.
+
+    ``certify`` (an oracle mode: ``"auto"``, ``"exact"``, ``"ilp"`` or
+    ``"lp"``) attaches the certification oracle's ``quality`` block to
+    each eligible success record as it streams by — computed parent-side
+    against the shared oracle cache (see :func:`_certify_record`).
 
     Stacked batch groups stream per instance: when an instance's
     termination mask flips inside a ragged group, its record is yielded
@@ -822,11 +935,20 @@ def iter_grid_records(
     cells = list(cells)
     if strategy not in STRATEGIES:
         raise UnknownStrategyError(strategy, available_strategies())
+    if certify is not None:
+        from repro.oracle import ORACLE_MODES
+
+        if certify not in ORACLE_MODES:
+            raise ValueError(
+                f"unknown certify mode {certify!r}; choose from "
+                f"{', '.join(ORACLE_MODES)}"
+            )
 
     def generate() -> Iterator[RunRecord]:
-        for _index, record in _iter_units(
+        pairs = _iter_units(
             cells, jobs, strategy, batch_size, target_cost=target_cost
-        ):
+        )
+        for _index, record in _iter_certified(pairs, certify):
             yield record
 
     return generate()
@@ -838,6 +960,7 @@ def run_grid_records(
     strategy: str = "cell",
     batch_size: int = 0,
     target_cost: int | str = 0,
+    certify: Optional[str] = None,
 ) -> List[RunRecord]:
     """Run every cell; typed records in deterministic cell order.
 
@@ -853,9 +976,10 @@ def run_grid_records(
     """
     cells = list(cells)
     results: List[Optional[RunRecord]] = [None] * len(cells)
-    for index, record in _iter_units(
+    pairs = _iter_units(
         cells, jobs, strategy, batch_size, target_cost=target_cost
-    ):
+    )
+    for index, record in _iter_certified(pairs, certify):
         results[index] = record
     return results  # type: ignore[return-value]
 
@@ -866,6 +990,7 @@ def run_grid(
     strategy: str = "cell",
     batch_size: int = 0,
     target_cost: int | str = 0,
+    certify: Optional[str] = None,
     stream: bool = False,
 ):
     """Run every cell, optionally across ``jobs`` worker processes.
@@ -887,6 +1012,7 @@ def run_grid(
                 strategy=strategy,
                 batch_size=batch_size,
                 target_cost=target_cost,
+                certify=certify,
             )
         )
     return [
@@ -897,6 +1023,7 @@ def run_grid(
             strategy=strategy,
             batch_size=batch_size,
             target_cost=target_cost,
+            certify=certify,
         )
     ]
 

@@ -18,7 +18,7 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.domsets.covering import CoveringInstance
-from repro.errors import LPError
+from repro.errors import LPError, LPInfeasibleError
 
 
 @dataclass(frozen=True)
@@ -62,7 +62,21 @@ def solve_covering_lp(instance: CoveringInstance) -> LPSolution:
         method="highs",
     )
     if not result.success:
-        raise LPError(f"LP solver failed: {result.message}")
+        # linprog/HiGHS status codes: 1 iteration limit, 2 infeasible,
+        # 3 unbounded, 4 numerical difficulties.  Infeasibility is a fact
+        # about the instance and gets its own type; everything else is a
+        # solver failure the certification oracle may fall back from.
+        if result.status == 2:
+            raise LPInfeasibleError(
+                f"covering LP is infeasible (HiGHS status {result.status}): "
+                f"{result.message}",
+                status=result.status,
+            )
+        raise LPError(
+            f"LP solver failed (HiGHS status {result.status}): "
+            f"{result.message}",
+            status=result.status,
+        )
     values = {u: float(max(0.0, result.x[index[u]])) for u in var_ids}
     return LPSolution(values=values, optimum=float(result.fun))
 

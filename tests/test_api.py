@@ -428,6 +428,38 @@ class TestRecords:
         )
         assert [rec.key for rec in sweep] == [c.key for c in TestStreaming.CELLS]
 
+    def test_quality_block_round_trips(self):
+        sweep = (
+            Experiment("greedy")
+            .on("tree")
+            .sizes(16)
+            .engine("vector")
+            .certify("lp")
+            .run()
+        )
+        [rec] = sweep.records
+        assert rec.quality is not None
+        assert rec.quality["oracle"] == "lp"
+        payload = rec.to_dict()
+        assert "quality" in payload
+        clone = RunRecord.from_dict(payload)
+        assert clone == rec and clone.quality == rec.quality
+        assert sweep.meta["certify"] == "lp"
+
+    def test_uncertified_records_keep_legacy_shape(self):
+        """Without ``certify`` nothing about a record or the sweep meta may
+        change — the quality block is strictly opt-in."""
+        experiment = Experiment("greedy").on("tree").sizes(16).engine("vector")
+        sweep = experiment.run()
+        [rec] = sweep.records
+        assert rec.quality is None
+        assert "quality" not in rec.to_dict()
+        assert "certify" not in sweep.meta
+        certified = json.dumps(
+            experiment.certify("lp").run().records[0].to_dict(), sort_keys=True
+        )
+        assert json.dumps(rec.to_dict(), sort_keys=True) != certified
+
 
 class TestDeprecationShims:
     def test_expand_grid_warns_but_works(self):

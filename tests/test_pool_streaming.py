@@ -145,6 +145,44 @@ class TestWorkerLoss:
             assert rec.plan["scheduler"] == "adaptive"
             assert rec.plan["actual_wall_s"] >= 0
 
+    def test_worker_kill_with_certify_keeps_quality_blocks(self, monkeypatch):
+        """Certification happens in the parent as records stream by, so a
+        re-dispatched record after ``WorkerLostError`` must carry the same
+        quality block as an undisturbed run — exactly one certified record
+        per cell, no duplicates, none uncertified."""
+        cells = _sweep_cells(sizes=(20, 30), seeds=(0, 1, 2))
+        seq = {
+            rec.key: rec.quality
+            for rec in run_grid_records(
+                cells, jobs=1, strategy="batch", certify="auto"
+            )
+        }
+        monkeypatch.setenv("REPRO_POOLSTREAM_KILL", "0:1")
+        pool = run_grid_records(
+            cells, jobs=2, strategy="batch", batch_size=3, certify="auto"
+        )
+        assert sorted(rec.key for rec in pool) == sorted(seq)
+        fallbacks = [rec for rec in pool if rec.plan and "fallback" in rec.plan]
+        assert fallbacks, "kill hook should have produced re-dispatched records"
+        for rec in pool:
+            quality = rec.quality
+            assert quality is not None, rec.key
+            assert quality["status"] != "failed", (rec.key, quality)
+            assert quality["within_bound"], (rec.key, quality)
+            # Everything but the wall-clock and the cache's warmth is
+            # deterministic across runs.
+            stable = {
+                k: v
+                for k, v in quality.items()
+                if k not in ("solve_wall_s", "cache_hit")
+            }
+            expected = {
+                k: v
+                for k, v in seq[rec.key].items()
+                if k not in ("solve_wall_s", "cache_hit")
+            }
+            assert stable == expected, rec.key
+
     def test_unclaimed_units_migrate_to_survivors(self, monkeypatch):
         """Units the dead worker never pulled stay in the queue and run on
         the surviving worker — every record still arrives."""
