@@ -28,7 +28,11 @@ Usage (the CI invocation)::
     python scripts/check_stream_arrivals.py -- \
         python -m repro grid --families gnp --sizes 200,400,800 \
         --programs greedy --engines vector --seeds 0..9 \
-        --strategy batch --batch-size 15 --jobs 2 --stream
+        --strategy batch --batch-size 15 --jobs 2 --stream --no-report
+
+(``--no-report`` keeps stdout to pure record lines — machine consumers
+like this gate need no trailing table, and the exit code still reflects
+per-record success.)
 
 Everything after ``--`` is the grid command; without it the gate runs
 the default command above.
@@ -57,6 +61,7 @@ DEFAULT_COMMAND = [
     "--batch-size", "15",
     "--jobs", "2",
     "--stream",
+    "--no-report",
 ]
 
 #: Two arrivals closer than this are considered one burst (seconds).

@@ -7,6 +7,8 @@ Commands
 ``suite``   list the benchmark suite instances
 ``bench``   run one experiment (E1..E12) and print its table
 ``grid``    run a (graph x program x engine x seed) batch grid across workers
+``serve``   run the always-on JSON-lines simulation service
+``submit``  submit a grid to a running service as one tenant
 
 ``mds``, ``cds``, ``bench`` and ``grid`` accept ``--engine`` to pick the
 simulation engine (``fast`` flat-array default, ``reference`` baseline,
@@ -24,7 +26,9 @@ record surfaces at its instance's termination — also across ``--jobs``
 workers, where records cross the pool boundary one at a time — so early
 finishers of a ragged group print while larger siblings still run
 (``--quick`` runs a small self-contained mixed-size batched smoke
-grid).  ``--certify [MODE]`` routes every eligible record through the
+grid; ``--no-report`` suppresses the buffered report after ``--stream``
+so service-style consumers get pure record lines).  ``--certify
+[MODE]`` routes every eligible record through the
 certification oracle (:mod:`repro.oracle`): the record gains a
 ``quality`` block with the certified optimum bound and measured
 approximation ratios (bare ``--certify`` means ``--certify auto``, the
@@ -32,6 +36,14 @@ exact → ILP → LP bound ladder).  The ``grid`` command is a thin shell
 over :class:`repro.api.Experiment`; its ``--programs`` axis accepts
 every registered program, including ``lemma310``, ``rounding-exec``,
 ``tree-sum`` and the ``cds`` composite.
+
+``serve`` starts the multi-tenant simulation service
+(:mod:`repro.service`): concurrent tenants' cells coalesce into ragged
+stacked planes per batch window, backed by the two-tier deterministic
+cache; ``--port 0`` binds an OS-assigned port and announces it on
+stdout.  ``submit`` is the matching one-shot tenant: it sends a grid
+(same axis flags as ``grid``) to a running service and prints each
+record as a JSON line the moment the service streams it back.
 
 Examples
 --------
@@ -45,6 +57,9 @@ Examples
     python -m repro grid --quick --stream
     python -m repro grid --families gnp --sizes 40 --programs greedy \
         --engines vector --seeds 0..4 --certify
+    python -m repro serve --port 7464 --window 0.05
+    python -m repro submit --port 7464 --families gnp --sizes 40,60 \
+        --programs greedy --engines vector --seeds 0..4
 """
 
 from __future__ import annotations
@@ -198,6 +213,9 @@ def cmd_grid(args) -> int:
     from repro.errors import ReproError
     from repro.experiments.harness import engine_grid_report
 
+    if args.no_report and not args.stream:
+        print("error: --no-report requires --stream", file=sys.stderr)
+        return 2
     if args.quick:
         # A small self-contained smoke grid exercising the batched path:
         # two families, *mixed* sizes (so `--strategy batch` stacks a
@@ -241,6 +259,10 @@ def cmd_grid(args) -> int:
             for record in experiment.stream():
                 print(_json.dumps(record.to_dict()), flush=True)
                 records.append(record)
+            if args.no_report:
+                # Pure record lines for pipeline/service-style consumers:
+                # no buffered report, exit code from the records alone.
+                return 0 if all(rec.ok for rec in records) else 1
             sweep = experiment.collect(records)
         else:
             sweep = experiment.run()
@@ -255,6 +277,75 @@ def cmd_grid(args) -> int:
         print(f"wrote {args.json_out}")
     print(report.render())
     return 0 if report.all_checks_pass else 1
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        window_s=args.window,
+        max_window_cost=args.max_window_cost,
+        max_window_width=args.max_window_width,
+        batch_size=args.batch_size,
+        max_pending_per_client=args.max_pending,
+        max_inflight_per_client=args.max_inflight,
+        oracle_cache_path=args.oracle_cache or None,
+    )
+    try:
+        asyncio.run(run_server(host=args.host, port=args.port, config=config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.api import available_programs
+    from repro.errors import ReproError
+    from repro.experiments.runner import GridCell
+    from repro.service.client import ServiceClient
+
+    families_list = [f for f in args.families.split(",") if f]
+    sizes = [int(s) for s in args.sizes.split(",")]
+    programs = (
+        [p for p in args.programs.split(",") if p]
+        if args.programs
+        else available_programs()
+    )
+    engines = [e for e in args.engines.split(",") if e]
+    seeds = _parse_seeds(args.seeds) if args.seeds else [args.seed]
+    cells = [
+        GridCell(family=f, n=n, program=p, engine=e, seed=s)
+        for f in families_list
+        for n in sizes
+        for p in programs
+        for e in engines
+        for s in seeds
+    ]
+    ok = True
+    try:
+        with ServiceClient(
+            host=args.host, port=args.port, client=args.client, timeout=args.timeout
+        ) as client:
+            records = [None] * len(cells)
+            for index, record, meta in client.stream(
+                cells, use_cache=not args.no_cache, certify=args.certify
+            ):
+                line = dict(record)
+                if args.meta:
+                    line["service"] = meta
+                print(_json.dumps(line), flush=True)
+                records[index] = record
+            ok = all(rec is not None and rec.get("ok") for rec in records)
+            if args.stats:
+                print(_json.dumps({"stats": client.stats()}), flush=True)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -331,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
         "then the ordered report",
     )
     p_grid.add_argument(
+        "--no-report", action="store_true",
+        help="with --stream: suppress the buffered report after the record "
+        "lines — pure JSON-lines output for pipeline consumers; the exit "
+        "code reflects record ok status",
+    )
+    p_grid.add_argument(
         "--certify", nargs="?", const="auto", default=None,
         choices=["auto", "exact", "ilp", "lp"],
         help="certify each eligible record against the oracle's bound "
@@ -346,6 +443,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--jobs", type=int, default=1)
     p_grid.add_argument("--json-out", default="", help="write full results JSON here")
     p_grid.set_defaults(func=cmd_grid)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on multi-tenant simulation service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7464,
+        help="listening port (0 = OS-assigned; announced on stdout)",
+    )
+    p_serve.add_argument(
+        "--window", type=float, default=0.05,
+        help="batch-window deadline in seconds: how long a lone request "
+        "waits for concurrent tenants to coalesce",
+    )
+    p_serve.add_argument(
+        "--max-window-cost", type=int, default=0,
+        help="close a window once its accumulated cost-model estimate "
+        "reaches this (0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--max-window-width", type=int, default=64,
+        help="close a window at this many admitted cells",
+    )
+    p_serve.add_argument(
+        "--batch-size", type=int, default=0,
+        help="stack width cap inside one window dispatch (0 = uncapped)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="per-tenant pending-queue bound (backpressure: an "
+        "overflowing submission is rejected whole)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="per-tenant cap on cells admitted to one window (fairness)",
+    )
+    p_serve.add_argument(
+        "--oracle-cache", default="",
+        help="persist the certification memo here (loaded on start, "
+        "dumped on stop) — the result cache's quality twin",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a grid to a running service as one tenant"
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=7464)
+    p_submit.add_argument("--client", default="cli", help="tenant name")
+    p_submit.add_argument("--timeout", type=float, default=120.0)
+    p_submit.add_argument("--families", default="gnp")
+    p_submit.add_argument("--sizes", default="60")
+    p_submit.add_argument(
+        "--programs", default="greedy", help="comma list (default: greedy)"
+    )
+    p_submit.add_argument("--engines", default="vector")
+    p_submit.add_argument("--seed", type=int, default=7)
+    p_submit.add_argument(
+        "--seeds", default="",
+        help="seeds to sweep: comma list or inclusive range (0..9)",
+    )
+    p_submit.add_argument(
+        "--no-cache", action="store_true",
+        help="opt this submission out of result-cache reads "
+        "(fresh execution guaranteed)",
+    )
+    p_submit.add_argument(
+        "--certify", nargs="?", const="auto", default=None,
+        choices=["auto", "exact", "ilp", "lp"],
+        help="ask the service to certify each record (quality block)",
+    )
+    p_submit.add_argument(
+        "--meta", action="store_true",
+        help="embed the service's per-delivery meta (window, cache_hit, "
+        "stack_width, latency_s) in each printed line",
+    )
+    p_submit.add_argument(
+        "--stats", action="store_true",
+        help="print the service stats as a final JSON line",
+    )
+    p_submit.set_defaults(func=cmd_submit)
     return parser
 
 

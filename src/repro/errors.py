@@ -122,6 +122,46 @@ class WorkerLostError(ReproError):
         )
 
 
+class ServiceError(ReproError):
+    """Base class for failures of the always-on simulation service.
+
+    The :mod:`repro.service` layer never lets these escape as bare
+    strings: the in-process facade raises them from ``submit`` and the
+    JSON-lines protocol serializes them into structured error frames
+    (``{"type": "error", "error": {"type": <class name>, ...}}``), so a
+    remote client can pattern-match the same codes a library caller
+    catches.
+    """
+
+
+class ClientQueueFullError(ServiceError):
+    """A tenant's pending-cell queue hit the service's backpressure bound.
+
+    Each client of :class:`repro.service.SimulationService` owns a
+    bounded admission queue (``max_pending_per_client``).  A submission
+    that would overflow it is rejected *whole* — no partial enqueue — so
+    one tenant's runaway sweep fills its own queue and gets this
+    structured rejection instead of starving every other tenant's batch
+    windows.
+    """
+
+    def __init__(self, client: str, pending: int, limit: int):
+        self.client = client
+        self.pending = pending
+        self.limit = limit
+        super().__init__(
+            f"client {client!r} has {pending} pending cells; submission "
+            f"would exceed the per-client backpressure bound of {limit}"
+        )
+
+
+class ServiceClosedError(ServiceError):
+    """A request reached a service that is not running (or shutting down)."""
+
+    def __init__(self, detail: str = "service is not running"):
+        super().__init__(detail)
+
+
 class MessageTooLargeError(CongestError):
     """A node program attempted to send a message above the bit budget."""
 

@@ -16,9 +16,11 @@ roughly the same amount of work regardless of how sizes are mixed.
 Three decisions, all deterministic functions of their inputs:
 
 * :func:`estimate_cell_cost` — the per-cell cost.  Round limits come
-  from the spec's ``batch_max_rounds`` recipe evaluated on a size proxy
-  (the registered recipes are functions of ``n`` only); message bits
-  from the program's declared :class:`~repro.congest.engine.vector.
+  from the **calibrated rounds model**: the spec's worst-case
+  ``batch_max_rounds`` recipe evaluated on a size proxy (the registered
+  recipes are functions of ``n`` only), clamped by an empirical
+  per-program estimate where measured data exists (see below); message
+  bits from the program's declared :class:`~repro.congest.engine.vector.
   MessageSpec` list with every field charged ``bit_length(n)``.
 * :func:`resolve_target_cost` — what ``target_cost="auto"`` negotiates:
   the total stackable cost divided over ``2 * jobs`` planes (the factor
@@ -40,10 +42,30 @@ Every unit of the resulting plan carries a scheduler-decision meta block
 attaches to each produced record as ``plan`` (plus the measured
 ``actual_wall_s``), so grid payloads and BENCH artifacts record what the
 scheduler decided next to what it cost.
+
+Calibrated rounds
+-----------------
+The worst-case registry recipes are *proof* limits — greedy's ``8n + 16``
+guards termination, but its measured rounds are near-flat in ``n`` (49 at
+n=100 vs 69 at n=500 in the committed ``BENCH_scheduler.json`` sweep), so
+pricing by the proof limit over-weights large instances by two orders of
+magnitude and skews every cost-target split.  The estimator therefore
+clamps the recipe with an **empirical rounds table**: per program, the
+maximum rounds observed at each measured size (seeded from the committed
+benchmark, extendable at runtime via :func:`calibrate_rounds` /
+:func:`record_round_sample`), turned into a monotone envelope — running
+max over sizes, flat extrapolation beyond the sampled range — and
+multiplied by a ×2 safety slack.  ``min(worst_case, slack × envelope)``
+keeps the worst-case recipe as the fallback (programs without samples,
+tiny sizes where the recipe is already tighter) and keeps
+:func:`estimate_cell_cost` monotone in width.  The executor's *enforced*
+round limits are untouched — calibration reweights planning only, it can
+never make a run fail.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import batchable_programs, program_spec
@@ -53,9 +75,13 @@ from repro.congest.message import FIELD_FRAMING_BITS, MESSAGE_HEADER_BITS
 __all__ = [
     "PlanUnit",
     "adaptive_plan",
+    "calibrate_rounds",
+    "calibrated_round_limit",
     "estimate_cell_cost",
     "estimate_message_bits",
     "estimate_round_limit",
+    "record_round_sample",
+    "reset_round_calibration",
     "resolve_target_cost",
 ]
 
@@ -86,15 +112,111 @@ class _SizeProxy:
         self.n = int(n)
 
 
-def estimate_round_limit(program: str, n: int) -> int:
-    """The cell's registry round limit, evaluated on a size proxy."""
+#: Safety slack multiplied onto the empirical rounds envelope: planning
+#: tolerates instances twice as slow as the worst ever measured before
+#: the estimate goes stale (and even then only the *split* is affected).
+_CALIBRATION_SLACK = 2.0
+
+#: Measured max rounds per (program, n), from the committed
+#: ``BENCH_scheduler.json`` 50-seed sweep (seeds 0..49, gnp suite).  The
+#: raw samples are intentionally non-monotone (n=800 measured below
+#: n=500); :func:`calibrated_round_limit` applies the monotone envelope.
+_SEED_ROUND_SAMPLES: Dict[str, Dict[int, int]] = {
+    "greedy": {100: 49, 200: 53, 300: 57, 500: 69, 800: 65},
+}
+
+#: Live calibration table: the seed samples plus anything recorded at
+#: runtime via :func:`record_round_sample` / :func:`calibrate_rounds`.
+_ROUND_SAMPLES: Dict[str, Dict[int, int]] = {
+    program: dict(samples) for program, samples in _SEED_ROUND_SAMPLES.items()
+}
+
+
+def record_round_sample(program: str, n: int, rounds: int) -> None:
+    """Feed one measured round count into the calibration table.
+
+    Samples only ever *raise* the stored per-size maximum — the estimate
+    must stay an upper envelope of everything observed.
+    """
+    samples = _ROUND_SAMPLES.setdefault(str(program), {})
+    n = int(n)
+    samples[n] = max(samples.get(n, 0), int(rounds))
+
+
+def calibrate_rounds(records) -> int:
+    """Calibrate from finished run records; returns samples ingested.
+
+    Accepts :class:`~repro.api.records.RunRecord` objects or legacy dict
+    records (BENCH artifacts read back from disk) — any success record
+    with a ``rounds`` metric contributes.
+    """
+    ingested = 0
+    for record in records:
+        if not isinstance(record, dict):
+            record = record.to_dict()
+        metrics = record.get("metrics")
+        if not record.get("ok") or not metrics or "rounds" not in metrics:
+            continue
+        cell = record["cell"]
+        record_round_sample(cell["program"], cell["n"], metrics["rounds"])
+        ingested += 1
+    return ingested
+
+
+def reset_round_calibration() -> None:
+    """Restore the committed seed samples (tests, fresh experiments)."""
+    _ROUND_SAMPLES.clear()
+    _ROUND_SAMPLES.update(
+        {program: dict(samples) for program, samples in _SEED_ROUND_SAMPLES.items()}
+    )
+
+
+def calibrated_round_limit(program: str, n: int) -> Optional[int]:
+    """The empirical rounds estimate for planning, or ``None`` (no data).
+
+    Deterministic in the table state: the samples' running-max envelope
+    over sizes, read at the smallest sampled size >= ``n`` (flat
+    extrapolation beyond the sampled range — measured rounds are
+    near-flat in ``n``, which is the whole point), times the safety
+    slack.  Non-decreasing in ``n`` by construction, so
+    :func:`estimate_cell_cost` stays strictly monotone in width.
+    """
+    samples = _ROUND_SAMPLES.get(str(program))
+    if not samples:
+        return None
+    envelope = 0
+    estimate: Optional[int] = None
+    for size in sorted(samples):
+        envelope = max(envelope, samples[size])
+        if size >= int(n) and estimate is None:
+            estimate = envelope
+    if estimate is None:
+        estimate = envelope  # n beyond the sampled range: flat extrapolation
+    return int(math.ceil(_CALIBRATION_SLACK * estimate))
+
+
+def estimate_round_limit(program: str, n: int, calibrated: bool = True) -> int:
+    """The rounds the cost model charges one cell of size ``n``.
+
+    The spec's worst-case recipe evaluated on a size proxy, clamped by
+    the calibrated empirical estimate when one exists (``calibrated=
+    False`` recovers the pure worst-case figure — the proof limit the
+    executor enforces).
+    """
     spec = program_spec(program)
+    worst: Optional[int] = None
     if spec.batch_max_rounds is not None:
         try:
-            return int(spec.batch_max_rounds(_SizeProxy(n)))
+            worst = int(spec.batch_max_rounds(_SizeProxy(n)))
         except Exception:  # noqa: BLE001 - a recipe needing a real Network
-            pass
-    return _FALLBACK_ROUND_FACTOR * int(n) + 16
+            worst = None
+    if worst is None:
+        worst = _FALLBACK_ROUND_FACTOR * int(n) + 16
+    if calibrated:
+        empirical = calibrated_round_limit(program, n)
+        if empirical is not None:
+            return min(worst, empirical)
+    return worst
 
 
 def estimate_message_bits(program: str, n: int) -> int:

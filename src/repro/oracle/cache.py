@@ -14,10 +14,21 @@ artifacts record (``BENCH_quality.json``'s ``meta.oracle.cache`` block).
 The cache stores the :class:`~repro.oracle.certificate.Certificate`
 objects themselves (frozen dataclasses), so a repeat key returns the
 *identical* object — asserted by the oracle property suite.
+
+**Persistence.** Because a certificate depends only on its key — full
+topology identity plus solution size and oracle knobs, nothing about the
+host or the run — the memo survives the process: :meth:`OracleCache.dump`
+writes every entry to JSON and :meth:`OracleCache.load` merges a dump
+back, turning a solved sweep into a warm start for the next one.  This is
+the result-cache's *quality twin* in the simulation service
+(``ServiceConfig.oracle_cache_path`` loads on start, dumps on stop) and
+the ``--oracle-cache PATH`` flag of ``run_experiments.py --certify``.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Dict, Hashable, Optional, Tuple
 
 
@@ -36,6 +47,13 @@ def topology_cache_key(
     ``GridCell.topology_key`` contract), so their oracle bounds coincide.
     """
     return (str(family), int(n), int(seed), params)
+
+
+def _freeze(value):
+    """Rebuild tuple keys from their JSON (list) round-trip form."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
 
 
 class OracleCache:
@@ -77,6 +95,57 @@ class OracleCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+
+    def dump(self, path) -> Path:
+        """Persist every certificate entry to ``path`` as JSON.
+
+        Only :class:`~repro.oracle.certificate.Certificate` values are
+        written (the cache holds nothing else in practice; the guard
+        keeps a foreign value from corrupting the artifact).  Keys are
+        the full memo keys — ``(topology_key, size, oracle,
+        exact_node_limit, search_budget, time_limit_s)`` — serialized as
+        nested JSON arrays, so a dump is exactly a warm start: identical
+        cells in a later process hit without re-solving.
+        """
+        from dataclasses import asdict, is_dataclass
+
+        entries = [
+            {"key": list(key), "certificate": asdict(value)}  # type: ignore[arg-type]
+            for key, value in self._entries.items()
+            if is_dataclass(value) and isinstance(key, tuple)
+        ]
+        path = Path(path)
+        payload = {
+            "generator": "repro.oracle.cache",
+            "entries": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path
+
+    def load(self, path, merge: bool = True) -> int:
+        """Merge a :meth:`dump` artifact back in; returns entries loaded.
+
+        Existing in-memory entries win on key collisions (they are
+        identical by determinism; keeping them preserves the repeat-key
+        identical-object guarantee within this process).  ``merge=False``
+        clears first.  Loading counts toward neither hits nor misses —
+        the counters keep describing this process's traffic.
+        """
+        from repro.oracle.certificate import Certificate
+
+        payload = json.loads(Path(path).read_text())
+        if payload.get("generator") != "repro.oracle.cache":
+            raise ValueError(f"{path} is not an oracle cache dump")
+        if not merge:
+            self.clear()
+        loaded = 0
+        for entry in payload.get("entries", ()):
+            key = _freeze(entry["key"])
+            if key in self._entries:
+                continue
+            self._entries[key] = Certificate(**entry["certificate"])
+            loaded += 1
+        return loaded
 
 
 #: The process-wide cache instance every ``certify`` call shares.

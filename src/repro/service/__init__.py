@@ -1,0 +1,43 @@
+"""The always-on simulation service: multi-tenant batch-window serving.
+
+This package wraps the run-to-completion experiment stack in a long-lived
+service where **batching is how traffic is served**: concurrent tenants'
+cells coalesce into ragged stacked planes per batch window, a two-tier
+deterministic cache (topologies over shared memory, results by full cell
+identity) short-circuits repeat work, and per-tenant queues bound each
+tenant's pressure on the window.  Three layers, outermost first:
+
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  JSON-lines protocol (:mod:`repro.service.protocol`) over TCP;
+  ``python -m repro serve`` / ``repro submit`` on the CLI.
+* :class:`~repro.service.service.SimulationService` — the in-process
+  facade the protocol is a thin shell over: admission windows, fairness,
+  backpressure, delivery tickets.
+* :mod:`repro.service.cache` — the deterministic cache tiers.
+
+See ``docs/service.md`` for the protocol frames, the window policy and
+the cache identity argument.
+"""
+
+from repro.service.cache import ResultCache, TopologyCache
+from repro.service.client import RemoteServiceError, ServiceClient
+from repro.service.server import ServiceServer, run_server
+from repro.service.service import (
+    ServedRecord,
+    ServiceConfig,
+    SimulationService,
+    Ticket,
+)
+
+__all__ = [
+    "RemoteServiceError",
+    "ResultCache",
+    "ServedRecord",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "SimulationService",
+    "Ticket",
+    "TopologyCache",
+    "run_server",
+]

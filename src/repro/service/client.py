@@ -1,0 +1,182 @@
+"""A small synchronous client for the JSON-lines service protocol.
+
+Used by the test suite, ``python -m repro submit``, the CI smoke script
+and the ``--service`` benchmark — anything that wants to be a tenant
+without pulling in asyncio.  One :class:`ServiceClient` is one
+connection, hence one tenant; run several instances (threads or
+processes) to exercise multi-tenant coalescing.
+
+The client is deliberately single-flight: :meth:`ServiceClient.stream`
+submits one request and consumes frames until its ``done`` — the usage
+every current consumer needs — while :meth:`submit` + :meth:`events`
+expose the raw frame stream for callers that want to interleave requests
+themselves (frames carry the request ``id`` for correlation).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceClosedError, ServiceError
+from repro.experiments.runner import GridCell
+from repro.service.protocol import cell_to_wire, decode_frame, encode_frame
+
+__all__ = ["ServiceClient", "RemoteServiceError"]
+
+
+class RemoteServiceError(ServiceError):
+    """The server answered with an ``error`` frame.
+
+    ``code`` is the server-side exception's class name (a
+    :mod:`repro.errors` code, e.g. ``ClientQueueFullError``), so remote
+    callers can pattern-match the same family a library caller catches.
+    """
+
+    def __init__(self, payload: Dict[str, str]):
+        self.code = str(payload.get("type", "ServiceError"))
+        super().__init__(f"{self.code}: {payload.get('message', '')}")
+
+
+class ServiceClient:
+    """One tenant connection speaking the JSON-lines protocol."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        client: Optional[str] = None,
+        timeout: float = 120.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self.client = client
+        if client is not None:
+            self._send({"type": "hello", "client": client})
+            frame = self._recv()
+            if frame.get("type") == "hello":
+                self.client = str(frame.get("client"))
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send(self, frame: Dict[str, object]) -> None:
+        self._file.write(encode_frame(frame))
+        self._file.flush()
+
+    def _recv(self) -> Dict[str, object]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceClosedError("server closed the connection")
+        return decode_frame(line)
+
+    def close(self) -> None:
+        try:
+            self._send({"type": "bye"})
+        except (OSError, ValueError):  # pragma: no cover - already torn down
+            pass
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests --------------------------------------------------------------
+
+    def submit(
+        self,
+        cells: Sequence[GridCell],
+        use_cache: bool = True,
+        certify: Optional[str] = None,
+    ) -> str:
+        """Send one submission; returns its request id (``accepted`` frame
+        or structured rejection consumed here)."""
+        request_id = f"req-{next(self._ids)}"
+        self._send(
+            {
+                "type": "submit",
+                "id": request_id,
+                "cells": [cell_to_wire(c) for c in cells],
+                "use_cache": bool(use_cache),
+                "certify": certify,
+            }
+        )
+        frame = self._recv()
+        if frame.get("type") == "error":
+            raise RemoteServiceError(dict(frame.get("error") or {}))  # type: ignore[arg-type]
+        if frame.get("type") != "accepted":
+            raise ServiceError(f"expected 'accepted', got {frame.get('type')!r}")
+        return request_id
+
+    def events(self) -> Iterator[Dict[str, object]]:
+        """Raw server frames, as they arrive (caller correlates by id)."""
+        while True:
+            yield self._recv()
+
+    def stream(
+        self,
+        cells: Sequence[GridCell],
+        use_cache: bool = True,
+        certify: Optional[str] = None,
+    ) -> Iterator[Tuple[int, Dict[str, object], Dict[str, object]]]:
+        """Submit and yield ``(index, record_dict, meta)`` until ``done``.
+
+        Records arrive in completion order — the service streams each one
+        at its instance's termination; ``index`` restores submission
+        order.  An ``error`` frame for this request raises
+        :class:`RemoteServiceError`.
+        """
+        request_id = self.submit(cells, use_cache=use_cache, certify=certify)
+        for frame in self.events():
+            if frame.get("id") != request_id:
+                continue  # another in-flight request on this connection
+            ftype = frame.get("type")
+            if ftype == "record":
+                yield (
+                    int(frame["index"]),  # type: ignore[arg-type]
+                    dict(frame["record"]),  # type: ignore[arg-type]
+                    dict(frame.get("meta") or {}),  # type: ignore[arg-type]
+                )
+            elif ftype == "done":
+                return
+            elif ftype == "error":
+                raise RemoteServiceError(dict(frame.get("error") or {}))  # type: ignore[arg-type]
+
+    def run(
+        self,
+        cells: Sequence[GridCell],
+        use_cache: bool = True,
+        certify: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Submit and collect every record, restored to submission order."""
+        records: List[Optional[Dict[str, object]]] = [None] * len(cells)
+        for index, record, _meta in self.stream(
+            cells, use_cache=use_cache, certify=certify
+        ):
+            records[index] = record
+        missing = [i for i, rec in enumerate(records) if rec is None]
+        if missing:
+            raise ServiceClosedError(
+                f"request finished without records for indices {missing}"
+            )
+        return records  # type: ignore[return-value]
+
+    def flush(self) -> None:
+        """Ask the service to close the current batch window immediately."""
+        self._send({"type": "flush"})
+
+    def stats(self) -> Dict[str, object]:
+        """The service's live counters (windows, caches, backpressure)."""
+        request_id = f"stats-{next(self._ids)}"
+        self._send({"type": "stats", "id": request_id})
+        for frame in self.events():
+            if frame.get("type") == "stats" and frame.get("id") == request_id:
+                return dict(frame.get("stats") or {})  # type: ignore[arg-type]
+            if frame.get("type") == "error":
+                raise RemoteServiceError(dict(frame.get("error") or {}))  # type: ignore[arg-type]

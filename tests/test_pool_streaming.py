@@ -133,7 +133,10 @@ class TestWorkerLoss:
         assert _metrics_by_key(pool) == seq
 
     def test_kill_on_adaptive_plan_keeps_scheduler_meta(self, monkeypatch):
-        cells = _sweep_cells(sizes=(20, 30), seeds=(0, 1, 2))
+        # Enough seeds that the calibrated cost model still packs several
+        # cells per plane at the auto target — the kill must land on a
+        # batch unit with records left to re-dispatch.
+        cells = _sweep_cells(sizes=(20, 30), seeds=(0, 1, 2, 3, 4, 5))
         monkeypatch.setenv("REPRO_POOLSTREAM_KILL", "0:1")
         pool = run_grid_records(
             cells, jobs=2, strategy="batch", target_cost="auto"

@@ -1,13 +1,20 @@
 """Adaptive batch scheduler: cost model, planner, and record plumbing."""
 
+import pytest
+
 from repro.api.records import RunRecord
 from repro.congest.engine import plane_cost
 from repro.experiments.runner import GridCell, _batch_plan, _plan_units
 from repro.experiments.scheduler import (
+    _CALIBRATION_SLACK,
     adaptive_plan,
+    calibrate_rounds,
+    calibrated_round_limit,
     estimate_cell_cost,
     estimate_message_bits,
     estimate_round_limit,
+    record_round_sample,
+    reset_round_calibration,
     resolve_target_cost,
 )
 
@@ -34,10 +41,10 @@ class TestCostModel:
         assert costs == sorted(costs)
         assert len(set(costs)) == len(costs)
 
-    def test_round_limit_uses_registry_recipe(self):
-        # greedy registers 8n + 16; the estimator must reproduce it
-        # exactly — the plan prices the same limit the executor enforces.
-        assert estimate_round_limit("greedy", 50) == 8 * 50 + 16
+    def test_uncalibrated_round_limit_uses_registry_recipe(self):
+        # greedy registers 8n + 16; the uncalibrated estimator must
+        # reproduce it exactly — it is the limit the executor enforces.
+        assert estimate_round_limit("greedy", 50, calibrated=False) == 8 * 50 + 16
 
     def test_message_bits_grow_with_n(self):
         bits = [estimate_message_bits("greedy", n) for n in (15, 255, 65535)]
@@ -47,6 +54,65 @@ class TestCostModel:
     def test_cost_is_deterministic(self):
         cell = GridCell("gnp", 64, "greedy", "vector", seed=3)
         assert estimate_cell_cost(cell) == estimate_cell_cost(cell)
+
+
+class TestRoundCalibration:
+    @pytest.fixture(autouse=True)
+    def _fresh_table(self):
+        reset_round_calibration()
+        yield
+        reset_round_calibration()
+
+    def test_calibrated_clamps_the_worst_case_at_large_n(self):
+        # greedy's proof limit is 8n + 16 = 6416 rounds at n=800; the
+        # measured maximum in BENCH_scheduler.json is 69. The calibrated
+        # estimate must stop over-weighting large n by orders of magnitude.
+        worst = estimate_round_limit("greedy", 800, calibrated=False)
+        calibrated = estimate_round_limit("greedy", 800)
+        assert worst == 8 * 800 + 16
+        assert calibrated <= _CALIBRATION_SLACK * 69
+        assert calibrated < worst / 40
+
+    def test_worst_case_wins_when_tighter(self):
+        # At tiny n the proof limit is below the slacked envelope — the
+        # estimate must never exceed the enforced limit.
+        assert estimate_round_limit("greedy", 4) == 8 * 4 + 16
+
+    def test_unsampled_program_falls_back_to_worst_case(self):
+        assert calibrated_round_limit("color-reduction", 100) is None
+        assert estimate_round_limit("color-reduction", 100) == estimate_round_limit(
+            "color-reduction", 100, calibrated=False
+        )
+
+    def test_envelope_is_monotone_despite_raw_samples(self):
+        # The committed samples dip at n=800 (65 < 69 at n=500); the
+        # envelope must not — cost monotonicity depends on it.
+        limits = [calibrated_round_limit("greedy", n) for n in (100, 300, 500, 800, 5000)]
+        assert limits == sorted(limits)
+
+    def test_record_round_sample_only_raises_the_envelope(self):
+        before = calibrated_round_limit("greedy", 100)
+        record_round_sample("greedy", 100, 1)  # a faster run changes nothing
+        assert calibrated_round_limit("greedy", 100) == before
+        record_round_sample("greedy", 100, 400)
+        assert calibrated_round_limit("greedy", 100) > before
+
+    def test_calibrate_rounds_ingests_records_and_dicts(self):
+        cell = GridCell("gnp", 64, "greedy", "vector", seed=0)
+        typed = RunRecord(cell=cell, ok=True, wall_s=0.1, metrics={"rounds": 999})
+        legacy = typed.to_dict()
+        failed = RunRecord(cell=cell, ok=False, error={"type": "X", "message": ""})
+        assert calibrate_rounds([typed, legacy, failed]) == 2
+        assert calibrated_round_limit("greedy", 64) >= 999
+
+    def test_calibration_keeps_cell_cost_monotone(self):
+        record_round_sample("greedy", 60, 500)  # an outlier mid-range
+        costs = [
+            estimate_cell_cost(GridCell("gnp", n, "greedy", "vector"))
+            for n in (20, 40, 60, 80, 160, 1000)
+        ]
+        assert costs == sorted(costs)
+        assert len(set(costs)) == len(costs)
 
 
 class TestResolveTargetCost:

@@ -1,0 +1,549 @@
+"""The simulation service: windows, coalescing, caches, fairness, protocol.
+
+The load-bearing guarantee is **cross-tenant coalescing determinism**:
+records served through the service — coalesced into ragged stacked planes
+with other tenants' cells, deduped, or replayed from the result cache —
+are field-for-field identical to solo ``Experiment.run()`` records on the
+strategy-invariant fields (cell identity, ok, the whole metrics block;
+the same :func:`~repro.experiments.harness.comparable_records` contract
+every other execution strategy is held to).  Wall-clock differs by
+nature; everything else must not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.api import Experiment
+from repro.errors import (
+    ClientQueueFullError,
+    ServiceClosedError,
+    UnknownEngineError,
+    UnknownProgramError,
+)
+from repro.experiments.harness import comparable_records
+from repro.experiments.runner import GridCell
+from repro.service import (
+    RemoteServiceError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    SimulationService,
+)
+
+#: A generous window: tests close windows explicitly with flush() so
+#: nothing races the deadline, and a stuck test fails fast via timeouts.
+SLOW_WINDOW = ServiceConfig(window_s=30.0)
+
+COLLECT_TIMEOUT = 60.0
+
+
+def _cells(sizes, seeds, program="greedy", engine="vector", family="gnp"):
+    return [
+        GridCell(family, n, program, engine, seed=s) for n in sizes for s in seeds
+    ]
+
+
+def _solo_records(cells):
+    """The ground truth: each cell run solo through the builder."""
+    records = []
+    for cell in cells:
+        sweep = (
+            Experiment(cell.program)
+            .on(cell.family)
+            .sizes(cell.n)
+            .engines(cell.engine)
+            .seeds([cell.seed])
+            .strategy("cell")
+            .run()
+        )
+        assert len(sweep) == 1
+        records.append(sweep[0])
+    return records
+
+
+@pytest.fixture()
+def service():
+    svc = SimulationService(SLOW_WINDOW).start()
+    yield svc
+    svc.stop(drain=False)
+
+
+class TestServiceBasics:
+    def test_submit_before_start_raises(self):
+        svc = SimulationService(SLOW_WINDOW)
+        with pytest.raises(ServiceClosedError):
+            svc.submit("t", _cells((20,), (0,)))
+
+    def test_submit_after_stop_raises(self):
+        svc = SimulationService(SLOW_WINDOW).start()
+        svc.stop()
+        with pytest.raises(ServiceClosedError):
+            svc.submit("t", _cells((20,), (0,)))
+
+    def test_bad_axes_rejected_eagerly(self, service):
+        with pytest.raises(UnknownProgramError):
+            service.submit("t", [GridCell("gnp", 20, "nope", "vector", 0)])
+        with pytest.raises(UnknownEngineError):
+            service.submit("t", [GridCell("gnp", 20, "greedy", "warp", 0)])
+        with pytest.raises(ValueError):
+            service.submit("t", _cells((20,), (0,)), certify="psychic")
+
+    def test_empty_submission_completes_immediately(self, service):
+        ticket = service.submit("t", [])
+        assert ticket.collect(timeout=5.0) == []
+
+    def test_dict_cells_accepted(self, service):
+        ticket = service.submit(
+            "t",
+            [{"family": "gnp", "n": 20, "program": "greedy", "engine": "vector"}],
+        )
+        service.flush()
+        (record,) = ticket.collect(timeout=COLLECT_TIMEOUT)
+        assert record.ok
+        assert record.cell == GridCell("gnp", 20, "greedy", "vector", 7)
+
+    def test_unknown_family_degrades_to_error_record(self, service):
+        ticket = service.submit("t", [GridCell("mobius", 20, "greedy", "vector", 0)])
+        service.flush()
+        (record,) = ticket.collect(timeout=COLLECT_TIMEOUT)
+        assert not record.ok
+        assert record.error and record.error["type"]
+
+    def test_stop_drains_pending_work(self):
+        svc = SimulationService(SLOW_WINDOW).start()
+        ticket = svc.submit("t", _cells((20, 30), (0, 1)))
+        svc.stop(drain=True)  # no flush: drain itself must finish the work
+        records = ticket.collect(timeout=COLLECT_TIMEOUT)
+        assert len(records) == 4 and all(r.ok for r in records)
+
+    def test_stop_without_drain_cancels(self):
+        svc = SimulationService(SLOW_WINDOW).start()
+        ticket = svc.submit("t", _cells((20,), range(4)))
+        svc.stop(drain=False)
+        with pytest.raises(ServiceClosedError):
+            ticket.collect(timeout=5.0)
+
+
+class TestCoalescingDeterminism:
+    def test_single_tenant_records_match_solo_runs(self, service):
+        cells = _cells((20, 30), (0, 1, 2))
+        ticket = service.submit("t", cells)
+        service.flush()
+        served = ticket.collect(timeout=COLLECT_TIMEOUT)
+        assert comparable_records(served) == comparable_records(_solo_records(cells))
+        # Normalized delivery: no batch/plan leakage from the coalesced path.
+        assert all(rec.batch is None and rec.plan is None for rec in served)
+
+    def test_two_tenants_coalesce_and_match_solo(self, service):
+        cells_a = _cells((20, 30), (0, 1))
+        cells_b = _cells((30, 40), (1, 2))  # overlaps a on (30, 1)
+        ticket_a = service.submit("tenant-a", cells_a)
+        ticket_b = service.submit("tenant-b", cells_b)
+        service.flush()
+        served_a = ticket_a.collect(timeout=COLLECT_TIMEOUT)
+        served_b = ticket_b.collect(timeout=COLLECT_TIMEOUT)
+        assert comparable_records(served_a) == comparable_records(
+            _solo_records(cells_a)
+        )
+        assert comparable_records(served_b) == comparable_records(
+            _solo_records(cells_b)
+        )
+        stats = service.stats()
+        assert stats["coalesced_windows"] >= 1
+        # 8 submitted cells, 7 unique: the shared cell simulated once.
+        assert stats["result_cache"]["entries"] == 7
+
+    def test_concurrent_submitting_threads_match_solo(self, service):
+        tenants = {
+            f"tenant-{i}": _cells((20, 30, 40), (i, i + 1)) for i in range(4)
+        }
+        tickets = {}
+        barrier = threading.Barrier(len(tenants) + 1)
+
+        def tenant(name, cells):
+            barrier.wait()
+            tickets[name] = service.submit(name, cells)
+
+        threads = [
+            threading.Thread(target=tenant, args=item) for item in tenants.items()
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for t in threads:
+            t.join()
+        # All submissions are queued; close the window around all of them.
+        service.flush()
+        for name, cells in tenants.items():
+            served = tickets[name].collect(timeout=COLLECT_TIMEOUT)
+            assert comparable_records(served) == comparable_records(
+                _solo_records(cells)
+            )
+
+    def test_mixed_programs_and_engines_in_one_window(self, service):
+        cells = _cells((20,), (0, 1)) + _cells(
+            (20,), (0,), program="color-reduction"
+        ) + _cells((20,), (0,), engine="fast")
+        ticket = service.submit("t", cells)
+        service.flush()
+        served = ticket.collect(timeout=COLLECT_TIMEOUT)
+        assert comparable_records(served) == comparable_records(_solo_records(cells))
+
+    def test_certified_delivery_matches_solo_certify(self, service):
+        cells = _cells((20,), (0, 1))
+        ticket = service.submit("t", cells, certify="auto")
+        service.flush()
+        served = ticket.collect(timeout=COLLECT_TIMEOUT)
+        solo = (
+            Experiment("greedy")
+            .on("gnp")
+            .sizes(20)
+            .engines("vector")
+            .seeds([0, 1])
+            .strategy("cell")
+            .certify("auto")
+            .run()
+        )
+        # Solve wall and oracle-cache warmth vary run to run; every other
+        # quality field is deterministic and must agree.
+        volatile = ("solve_wall_s", "cache_hit")
+        for got, want in zip(served, solo):
+            assert got.quality is not None and want.quality is not None
+            assert {k: v for k, v in got.quality.items() if k not in volatile} == {
+                k: v for k, v in want.quality.items() if k not in volatile
+            }
+
+
+class TestResultCache:
+    def test_repeat_submission_hits_the_cache(self, service):
+        cells = _cells((20, 30), (0,))
+        first = service.submit("t", cells)
+        service.flush()
+        records_first = first.collect(timeout=COLLECT_TIMEOUT)
+        second = service.submit("t", cells)
+        service.flush()
+        records_second = second.collect(timeout=COLLECT_TIMEOUT)
+        assert comparable_records(records_first) == comparable_records(
+            records_second
+        )
+        stats = service.stats()
+        assert stats["result_cache"]["hits"] == 2
+        assert stats["cache_served"] == 2
+
+    def test_cache_hits_are_flagged_in_delivery_meta(self, service):
+        cells = _cells((20,), (0,))
+        first = service.submit("t", cells)
+        service.flush()
+        assert [s.meta["cache_hit"] for s in first] == [False]
+        second = service.submit("t", cells)
+        service.flush()
+        assert [s.meta["cache_hit"] for s in second] == [True]
+
+    def test_use_cache_false_bypasses_reads(self, service):
+        cells = _cells((20,), (0,))
+        warm = service.submit("t", cells)
+        service.flush()
+        warm.collect(timeout=COLLECT_TIMEOUT)
+        opt_out = service.submit("t", cells, use_cache=False)
+        service.flush()
+        (served,) = list(opt_out)
+        assert served.meta["cache_hit"] is False
+        # The fresh run still refreshed the cache (entry count unchanged,
+        # no hit counted for the opted-out read).
+        assert service.stats()["result_cache"]["hits"] == 0
+
+    def test_opt_out_and_cached_requester_share_one_execution(self, service):
+        cells = _cells((20,), (0,))
+        warm = service.submit("t", cells)
+        service.flush()
+        warm.collect(timeout=COLLECT_TIMEOUT)  # cache is warm from here
+        cached = service.submit("a", cells)  # will be served from cache
+        fresh = service.submit("b", cells, use_cache=False)  # forces a run
+        service.flush()
+        (from_cache,) = list(cached)
+        (from_run,) = list(fresh)
+        assert from_cache.meta["cache_hit"] is True
+        assert from_run.meta["cache_hit"] is False
+        assert comparable_records([from_cache.record]) == comparable_records(
+            [from_run.record]
+        )
+
+    def test_failure_records_are_not_cached(self, service):
+        bad = [GridCell("mobius", 20, "greedy", "vector", 0)]
+        first = service.submit("t", bad)
+        service.flush()
+        assert not list(first)[0].record.ok
+        ticket = service.submit("t", bad)
+        service.flush()
+        (served,) = list(ticket)
+        assert served.meta["cache_hit"] is False
+        assert service.stats()["result_cache"]["entries"] == 0
+
+    def test_lru_bound_evicts_oldest(self):
+        svc = SimulationService(
+            ServiceConfig(window_s=30.0, result_cache_entries=2)
+        ).start()
+        try:
+            for seed in (0, 1, 2):
+                ticket = svc.submit("t", _cells((20,), (seed,)))
+                svc.flush()
+                ticket.collect(timeout=COLLECT_TIMEOUT)
+            assert svc.stats()["result_cache"]["entries"] == 2
+            # seed 0 evicted: resubmitting it misses.
+            ticket = svc.submit("t", _cells((20,), (0,)))
+            svc.flush()
+            (served,) = list(ticket)
+            assert served.meta["cache_hit"] is False
+        finally:
+            svc.stop(drain=False)
+
+
+class TestFairnessAndBackpressure:
+    def test_overflowing_submission_rejected_whole(self):
+        svc = SimulationService(
+            ServiceConfig(window_s=30.0, max_pending_per_client=3)
+        ).start()
+        try:
+            svc.submit("greedy-tenant", _cells((20,), (0, 1)))
+            # 4 cells can never fit a 3-entry queue, whatever the window
+            # already admitted: the submission is rejected whole.
+            with pytest.raises(ClientQueueFullError) as excinfo:
+                svc.submit("greedy-tenant", _cells((20,), (2, 3, 4, 5)))
+            assert excinfo.value.client == "greedy-tenant"
+            assert excinfo.value.limit == 3
+            # Other tenants are unaffected by one tenant's full queue.
+            svc.submit("other-tenant", _cells((20,), (9,)))
+        finally:
+            svc.stop(drain=False)
+
+    def test_per_window_inflight_cap_shares_the_window(self):
+        # Deadline-closed windows here: flush() only closes one window,
+        # and the capped heavy tenant needs three to drain.
+        svc = SimulationService(
+            ServiceConfig(window_s=0.25, max_inflight_per_client=2)
+        ).start()
+        try:
+            heavy = svc.submit("heavy", _cells((20,), range(6)))
+            light = svc.submit("light", _cells((30,), (0,)))
+            # The light tenant's lone cell shares the first window with
+            # exactly 2 of the heavy tenant's 6; the tail waits its turn.
+            (light_served,) = list(light)
+            assert light_served.meta["window"] == 1
+            heavy_windows = [s.meta["window"] for s in heavy]
+            assert min(heavy_windows) == 1
+            assert max(heavy_windows) > 1
+            assert sum(1 for w in heavy_windows if w == 1) == 2
+        finally:
+            svc.stop(drain=False)
+
+    def test_window_width_cap_closes_the_window(self):
+        svc = SimulationService(
+            ServiceConfig(window_s=30.0, max_window_width=3)
+        ).start()
+        try:
+            ticket = svc.submit("t", _cells((20,), range(3)))
+            records = ticket.collect(timeout=COLLECT_TIMEOUT)  # no flush needed
+            assert len(records) == 3
+            assert svc.stats()["window_close_reasons"].get("width", 0) >= 1
+        finally:
+            svc.stop(drain=False)
+
+    def test_window_cost_cap_closes_the_window(self):
+        svc = SimulationService(
+            ServiceConfig(window_s=30.0, max_window_cost=1)
+        ).start()
+        try:
+            ticket = svc.submit("t", _cells((20,), (0, 1)))
+            records = ticket.collect(timeout=COLLECT_TIMEOUT)
+            assert len(records) == 2
+            assert svc.stats()["window_close_reasons"].get("cost", 0) >= 1
+        finally:
+            svc.stop(drain=False)
+
+
+class TestDisconnect:
+    def test_mid_window_cancel_skips_delivery_but_serves_siblings(self, service):
+        cells_a = _cells((20, 30), (0,))
+        cells_b = _cells((20, 30), (0,))
+        ticket_a = service.submit("a", cells_a)
+        ticket_b = service.submit("b", cells_b)
+        ticket_a.cancel()  # disconnect after admission, before execution
+        service.flush()
+        served_b = ticket_b.collect(timeout=COLLECT_TIMEOUT)
+        assert comparable_records(served_b) == comparable_records(
+            _solo_records(cells_b)
+        )
+        # The cancelled ticket's stream ended without its records.
+        assert ticket_a.next_event(timeout=5.0) is None
+
+    def test_cancel_before_window_drops_queued_entries(self, service):
+        ticket = service.submit("t", _cells((20,), range(3)))
+        ticket.cancel()
+        other = service.submit("u", _cells((30,), (0,)))
+        service.flush()
+        other.collect(timeout=COLLECT_TIMEOUT)
+        # Whether the cancelled entries were dropped at admission or their
+        # window was already open, nothing was delivered for them.
+        assert ticket.next_event(timeout=5.0) is None
+        assert service.stats()["records_served"] == 1
+
+
+class TestServerProtocol:
+    """End-to-end over TCP: asyncio server, two real client connections."""
+
+    @pytest.fixture()
+    def server(self):
+        loop = asyncio.new_event_loop()
+        srv = ServiceServer(SimulationService(ServiceConfig(window_s=0.25)))
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(srv.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30)
+        yield srv
+        asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+    def test_two_concurrent_tenants_coalesce_with_solo_parity(self, server):
+        cells_a = _cells((20, 30), (0, 1))
+        cells_b = _cells((30, 40), (1, 2))
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def tenant(name, cells):
+            with ServiceClient(port=server.port, client=name) as client:
+                barrier.wait()
+                results[name] = client.run(cells)
+
+        threads = [
+            threading.Thread(target=tenant, args=("a", cells_a)),
+            threading.Thread(target=tenant, args=("b", cells_b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert comparable_records(results["a"]) == comparable_records(
+            _solo_records(cells_a)
+        )
+        assert comparable_records(results["b"]) == comparable_records(
+            _solo_records(cells_b)
+        )
+        with ServiceClient(port=server.port, client="probe") as probe:
+            stats = probe.stats()
+        assert stats["coalesced_windows"] >= 1
+        assert stats["records_served"] == 8
+
+    def test_repeat_request_serves_from_cache(self, server):
+        cells = _cells((20,), (0, 1))
+        with ServiceClient(port=server.port, client="t") as client:
+            client.run(cells)
+            metas = [meta for _i, _r, meta in client.stream(cells)]
+            stats = client.stats()
+        assert all(meta["cache_hit"] for meta in metas)
+        assert stats["result_cache"]["hits"] >= 2
+
+    def test_structured_error_frame_for_bad_program(self, server):
+        with ServiceClient(port=server.port, client="t") as client:
+            with pytest.raises(RemoteServiceError) as excinfo:
+                client.submit([GridCell("gnp", 20, "nope", "vector", 0)])
+        assert excinfo.value.code == "UnknownProgramError"
+
+    def test_backpressure_surfaces_as_error_frame(self):
+        loop = asyncio.new_event_loop()
+        srv = ServiceServer(
+            SimulationService(
+                ServiceConfig(window_s=30.0, max_pending_per_client=1)
+            )
+        )
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(srv.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30)
+        try:
+            with ServiceClient(port=srv.port, client="t") as client:
+                client.submit(_cells((20,), (0,)))
+                with pytest.raises(RemoteServiceError) as excinfo:
+                    client.submit(_cells((20,), (1, 2)))
+            assert excinfo.value.code == "ClientQueueFullError"
+        finally:
+            asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(timeout=30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
+
+    def test_client_disconnect_mid_window_leaves_siblings_served(self, server):
+        """A tenant dropping its socket after submitting must not disturb
+        the window its cells were admitted to."""
+        import socket as socket_module
+
+        from repro.service.protocol import cell_to_wire, encode_frame
+
+        cells = _cells((20, 30), (0,))
+        raw = socket_module.create_connection(("127.0.0.1", server.port))
+        raw.sendall(
+            encode_frame(
+                {
+                    "type": "submit",
+                    "id": "doomed",
+                    "cells": [cell_to_wire(c) for c in cells],
+                }
+            )
+        )
+        time.sleep(0.05)  # let the submit frame land in the window
+        raw.close()  # disconnect before (or during) execution
+        survivor_cells = _cells((20, 30), (0,))
+        with ServiceClient(port=server.port, client="survivor") as client:
+            records = client.run(survivor_cells)
+        assert comparable_records(records) == comparable_records(
+            _solo_records(survivor_cells)
+        )
+
+    def test_flush_frame_closes_the_window(self):
+        loop = asyncio.new_event_loop()
+        srv = ServiceServer(SimulationService(SLOW_WINDOW))
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(srv.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30)
+        try:
+            # Window deadline is 30 s: without the flush frame this would
+            # time out, so completing quickly proves flush worked.
+            with ServiceClient(port=srv.port, client="t") as client:
+                request = client.submit(_cells((20,), (0,)))
+                client.flush()
+                seen_done = False
+                for frame in client.events():
+                    if frame.get("id") == request and frame.get("type") == "done":
+                        seen_done = True
+                        break
+                assert seen_done
+        finally:
+            asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(timeout=30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
