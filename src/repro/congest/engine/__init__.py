@@ -51,10 +51,15 @@ from repro.congest.engine.vector import (
     CsrPlane,
     MessageSpec,
     PendingBroadcast,
+    PendingTargeted,
     VectorEngine,
     VectorKernel,
     kernel_for,
+    pending_parts,
+    plane_namespace,
     register_kernel,
+    set_plane_namespace,
+    use_plane_namespace,
 )
 
 __all__ = [
@@ -72,10 +77,15 @@ __all__ = [
     "CsrPlane",
     "MessageSpec",
     "PendingBroadcast",
+    "PendingTargeted",
     "StackedPlane",
     "VectorKernel",
     "kernel_for",
+    "pending_parts",
+    "plane_namespace",
     "register_kernel",
+    "set_plane_namespace",
+    "use_plane_namespace",
     "iter_stacked",
     "plane_cost",
     "run_stacked",

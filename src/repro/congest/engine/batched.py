@@ -33,6 +33,31 @@ kernel invocation advances every instance at once:
   suite in ``tests/test_batched_engine.py`` enforces this across the
   graph zoo, for uniform and mixed-size groups alike).
 
+Instances need not enter the plane in lockstep.  When the kernel's
+``takeover_round`` exceeds 1 for any instance, each instance runs its own
+**scalar prologue** — exact ``FastEngine`` collect/charge/receive
+mechanics, driven by the shared global round clock — and joins the plane
+at its *own* takeover round: the runner collects the instance's handover
+broadcast, scatters it into the plane's pending traffic, and asks the
+kernel to :meth:`~repro.congest.engine.vector.VectorKernel.absorb_instance`
+the scalar state into its slice of the plane (the kernel boots from
+:meth:`~repro.congest.engine.vector.VectorKernel.stacked_blank`, all nodes
+dead, and lights slices up as instances arrive).  Because every instance
+executes round ``r`` at global tick ``r``, no round skew exists and every
+ledger entry matches the solo run.  Kernels may additionally publish a
+:attr:`~repro.congest.engine.vector.VectorKernel.prologue_oracle` that
+names the nodes whose ``receive`` can act in a given prologue round, so
+the scalar prologue costs O(actors) instead of O(n) per round — this is
+how the Lemma 3.10 program stacks heterogeneous inputs: its takeover
+round is ``2 + 3 * num_colors``, a per-instance quantity, its
+color-class rounds run as sparse scalar prologues, and its execution
+phase runs vectorized on the shared plane.  Canonical uniform Lemma 3.10
+instances instead take over at round 1 and run the color-class rounds
+*in-plane* (targeted alpha traffic and all), so an all-canonical group is
+a pure lockstep run with no scalar prologue; a mixed group carries
+in-plane and prologue instances side by side, and one plane round may
+then hold several differently-tagged pending parts.
+
 Eligibility is deliberately narrow and fails loudly
 (:class:`~repro.errors.BatchEligibilityError`) so callers can fall back to
 per-cell execution:
@@ -41,13 +66,13 @@ per-cell execution:
   registered kernel whose :attr:`VectorKernel.stackable` flag is set —
   the kernel promises to use ``plane.local_n_of`` / ``plane.local_ids``
   and to never consult ``self.network``;
-* the kernel's ``takeover_round`` is 1 for every instance, so all
-  instances enter the plane in lockstep with no scalar prefix.  This is
-  exactly why the Lemma 3.10 program does not qualify: its takeover round
-  is ``2 + 3 * num_colors``, a per-instance quantity, and its color-class
-  rounds are targeted scalar sends that cannot share a broadcast plane.
-* the traffic queued by ``setup`` is a conforming single-tag broadcast
-  with the *same* tag across instances (a silent instance joins any tag).
+* a kernel whose ``takeover_round`` exceeds 1 for some instance must
+  implement ``absorb_instance`` (late joins are refused otherwise);
+* the traffic queued at every handover point — ``setup`` for round-1
+  takeovers, the last prologue round otherwise — is a conforming
+  single-tag broadcast per instance; lockstep (round-1) groups must share
+  one tag, while late joiners merge into the plane round's matching-tag
+  part or ride along as an extra part (a silent instance joins any tag).
 
 Node counts, bit budgets and round limits are all per-instance — mixed
 sizes (and hence the size-derived CONGEST budgets) stack fine.  Instances
@@ -73,13 +98,17 @@ from typing import (
 import numpy as np
 
 from repro.congest.engine.base import SimulationResult
+from repro.congest.engine.fast import _EMPTY_INBOX, FastEngine, Inboxes
 from repro.congest.engine.vector import (
     _NONCONFORMING,
     CsrPlane,
     PendingBroadcast,
+    PendingTargeted,
     VectorEngine,
+    VectorKernel,
     _as_int64,
     kernel_for,
+    pending_parts,
 )
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
@@ -122,6 +151,7 @@ class StackedPlane(CsrPlane):
         "node_offsets",
         "slot_offsets",
         "instance_of",
+        "slot_instance",
     )
 
     def __init__(self, networks: Sequence[Network]):
@@ -161,6 +191,9 @@ class StackedPlane(CsrPlane):
         self.local_n_of = np.repeat(local_ns, local_ns)
         self.instance_of = np.repeat(
             np.arange(k_count, dtype=np.int64), local_ns
+        )
+        self.slot_instance = np.repeat(
+            np.arange(k_count, dtype=np.int64), np.diff(slot_offsets)
         )
 
     def live_per_instance(self, live: np.ndarray) -> np.ndarray:
@@ -202,8 +235,9 @@ def stack_ineligibility(program_cls: type) -> Optional[str]:
 
     This is the *static* half of eligibility (specs declared, kernel
     registered and stackable); :func:`iter_stacked` additionally verifies
-    the per-instance conditions (round-1 takeover, conforming handover)
-    at run time.
+    the per-instance conditions (conforming handovers, and
+    ``absorb_instance`` support when a takeover round exceeds 1) at run
+    time.
     """
     if not getattr(program_cls, "message_specs", ()):
         return f"{program_cls.__name__} declares no message_specs"
@@ -217,33 +251,57 @@ def stack_ineligibility(program_cls: type) -> Optional[str]:
 
 def _accumulate_round(
     plane: StackedPlane,
-    pending: Optional[PendingBroadcast],
+    pending,
     node_budget: Optional[np.ndarray],
     active_nodes: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-instance exact wire totals ``(messages, bits, max_bits)``.
 
-    The instance-wise analogue of ``VectorEngine._account``: a broadcast
-    puts ``degree`` copies of the sender's message on the wire, so the
+    The instance-wise analogue of ``VectorEngine._account``, summed over
+    every part of the round (a ragged plane can carry differently-tagged
+    broadcast *and* targeted traffic side by side): a broadcast puts
+    ``degree`` copies of the sender's message on the wire, so its
     per-instance counts are degree-weighted sums over that instance's
-    senders.  ``active_nodes`` masks out finished instances — their
-    bottom-of-loop queued traffic is discarded uncharged and unchecked,
-    exactly as the solo loop never reaches another accounting pass.
-    ``node_budget`` holds every sender's own instance's bit budget
-    (budgets are per-instance on a ragged plane); raises
-    :class:`MessageTooLargeError` for the lowest-global-id over-budget
-    sender (reported with its *local* ids, matching what the
+    senders; a targeted part puts exactly one message per masked slot on
+    the wire, bucketed by ``slot_instance``.  ``active_nodes`` masks out
+    finished instances — their bottom-of-loop queued traffic is discarded
+    uncharged and unchecked, exactly as the solo loop never reaches
+    another accounting pass.  ``node_budget`` holds every sender's own
+    instance's bit budget (budgets are per-instance on a ragged plane);
+    raises :class:`MessageTooLargeError` for the lowest-global-id
+    over-budget sender (reported with its *local* ids, matching what the
     corresponding solo run would raise).
     """
     k_count = plane.instances
     messages = np.zeros(k_count, dtype=np.int64)
     bits_total = np.zeros(k_count, dtype=np.int64)
     wire_max = np.zeros(k_count, dtype=np.int64)
-    if pending is None:
-        return messages, bits_total, wire_max
+    for part in pending_parts(pending):
+        if isinstance(part, PendingTargeted):
+            _accumulate_targeted(
+                plane, part, node_budget, active_nodes,
+                messages, bits_total, wire_max,
+            )
+        else:
+            _accumulate_broadcast(
+                plane, part, node_budget, active_nodes,
+                messages, bits_total, wire_max,
+            )
+    return messages, bits_total, wire_max
+
+
+def _accumulate_broadcast(
+    plane: StackedPlane,
+    pending: PendingBroadcast,
+    node_budget: Optional[np.ndarray],
+    active_nodes: np.ndarray,
+    messages: np.ndarray,
+    bits_total: np.ndarray,
+    wire_max: np.ndarray,
+) -> None:
     on_wire = pending.mask & (plane.degrees > 0) & active_nodes
     if not on_wire.any():
-        return messages, bits_total, wire_max
+        return
     if node_budget is not None:
         over = on_wire & (pending.bits > node_budget)
         if over.any():
@@ -255,21 +313,57 @@ def _accumulate_round(
                 int(pending.bits[sender]),
                 int(node_budget[sender]),
             )
+    k_count = plane.instances
     inst = plane.instance_of[on_wire]
     degrees = plane.degrees[on_wire]
     bits = pending.bits[on_wire]
     # float64 bincount weights are exact here: per-round per-instance wire
     # totals are far below 2**53 for any CONGEST-budgeted workload.
-    messages = np.bincount(inst, weights=degrees, minlength=k_count)
-    bits_total = np.bincount(
+    messages += np.bincount(inst, weights=degrees, minlength=k_count).astype(
+        np.int64
+    )
+    bits_total += np.bincount(
         inst, weights=degrees * bits, minlength=k_count
-    )
+    ).astype(np.int64)
     np.maximum.at(wire_max, inst, bits)
-    return (
-        messages.astype(np.int64),
-        bits_total.astype(np.int64),
-        wire_max,
-    )
+
+
+def _accumulate_targeted(
+    plane: StackedPlane,
+    pending: PendingTargeted,
+    node_budget: Optional[np.ndarray],
+    active_nodes: np.ndarray,
+    messages: np.ndarray,
+    bits_total: np.ndarray,
+    wire_max: np.ndarray,
+) -> None:
+    senders = plane.indices
+    on_wire = pending.slot_mask & active_nodes[senders]
+    if not on_wire.any():
+        return
+    if node_budget is not None:
+        over = on_wire & (pending.bits > node_budget[senders])
+        if over.any():
+            slots = np.flatnonzero(over)
+            slot = int(slots[np.lexsort((slots, senders[slots]))[0]])
+            sender = int(senders[slot])
+            receiver = (
+                int(np.searchsorted(plane.indptr, slot, "right")) - 1
+            )
+            raise MessageTooLargeError(
+                int(plane.local_ids[sender]),
+                int(plane.local_ids[receiver]),
+                int(pending.bits[slot]),
+                int(node_budget[sender]),
+            )
+    k_count = plane.instances
+    inst = plane.slot_instance[on_wire]
+    bits = pending.bits[on_wire]
+    messages += np.bincount(inst, minlength=k_count).astype(np.int64)
+    bits_total += np.bincount(
+        inst, weights=bits.astype(np.float64), minlength=k_count
+    ).astype(np.int64)
+    np.maximum.at(wire_max, inst, bits)
 
 
 def _stitch_handover(
@@ -300,7 +394,94 @@ def _stitch_handover(
     return PendingBroadcast(spec, mask, columns, bits)
 
 
-def _scalar_boot(
+class _PrologueInstance:
+    """One instance still executing its scalar prologue inside a stacked run.
+
+    Holds the exact solo-scalar machinery — per-node records, the active
+    map, inbox planes, the drain set and the instance's own bit budget —
+    so every prologue round runs :class:`FastEngine`'s collect/charge/
+    receive mechanics bit for bit, just driven by the shared global clock.
+    ``oracle`` (from :attr:`VectorKernel.prologue_oracle`) optionally
+    names the nodes whose ``receive`` can act in a given round; skipped
+    nodes are provably no-ops, so sparse prologues charge and deliver
+    identically to the solo full scan.
+    """
+
+    __slots__ = (
+        "index",
+        "net",
+        "n",
+        "takeover",
+        "programs",
+        "contexts",
+        "active",
+        "drain",
+        "inboxes",
+        "budget",
+        "oracle",
+        "touched",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        net: Network,
+        programs: Dict[int, NodeProgram],
+        contexts: Dict[int, Context],
+        records: List[tuple],
+    ):
+        self.index = index
+        self.net = net
+        self.n = net.n
+        self.takeover = 1
+        self.programs = programs
+        self.contexts = contexts
+        #: id -> record, insertion-ordered ascending (the solo active list).
+        self.active = {
+            rec[0]: rec for rec in records if not rec[1]._halted
+        }
+        self.drain: Sequence[tuple] = records
+        self.inboxes: Inboxes = [None] * net.n
+        self.budget = net.bit_budget
+        self.oracle = None
+        self.touched: List[int] = []
+
+    def execute_round(self, round_no: int) -> None:
+        """Deliver and run one scalar round (solo active-set semantics).
+
+        With an oracle, only the named actors run — in ascending id order,
+        a subsequence of the solo scan, so inbox insertion order and every
+        per-node call sequence are preserved.  The executed set becomes
+        the next round's drain (non-actors queue nothing, so draining only
+        actors collects exactly the solo traffic).
+        """
+        actors = None if self.oracle is None else self.oracle(round_no)
+        if actors is None:
+            executed = list(self.active.values())
+        else:
+            get = self.active.get
+            executed = [
+                rec for a in actors if (rec := get(int(a))) is not None
+            ]
+        inboxes = self.inboxes
+        for rec in executed:
+            v, ctx, recv = rec
+            ctx.round_number = round_no
+            box = inboxes[v]
+            if box is None:
+                recv(ctx, _EMPTY_INBOX)
+            else:
+                inboxes[v] = None
+                recv(ctx, box)
+            if ctx._halted:
+                del self.active[v]
+        for to in self.touched:
+            inboxes[to] = None
+        self.touched = []
+        self.drain = executed
+
+
+def _boot_instances(
     plane: StackedPlane,
     networks: Sequence[Network],
     program_factory: type,
@@ -311,13 +492,11 @@ def _scalar_boot(
 
     Instantiates programs and contexts per instance with *local* ids (so
     every message field and bit length matches the solo run), runs the
-    scalar round 0 (``setup``) and the handover collection instance by
-    instance — identical mechanics to ``VectorEngine``'s scalar prefix at
-    takeover round 1 — and stitches the per-instance traffic into one
-    stacked broadcast.
+    scalar round 0 (``setup``) and computes each instance's takeover
+    round.  Returns the per-instance prologue state plus the union
+    program/context maps (global ids) the kernel and the finishers read.
     """
-    specs = program_factory.message_specs
-    collected: List[PendingBroadcast] = []
+    booted: List[_PrologueInstance] = []
     union_programs: Dict[int, NodeProgram] = {}
     union_contexts: Dict[int, Context] = {}
     for k, net in enumerate(networks):
@@ -325,7 +504,7 @@ def _scalar_boot(
         base = int(plane.node_offsets[k])
         contexts: Dict[int, Context] = {}
         programs: Dict[int, NodeProgram] = {}
-        records = []
+        records: List[tuple] = []
         for v in range(net.n):
             ctx = Context(v, net.neighbors(v), net.n)
             prog = program_factory(node_inputs.get(v))
@@ -340,21 +519,65 @@ def _scalar_boot(
             raise BatchEligibilityError(
                 f"{kernel_cls.__name__} declined an instance of the group"
             )
-        if kernel_cls.takeover_round(net, programs) != 1:
-            raise BatchEligibilityError(
-                f"{kernel_cls.__name__} takes over after round 1; "
-                "stacked instances must enter the plane in lockstep"
+        inst = _PrologueInstance(k, net, programs, contexts, records)
+        inst.takeover = int(kernel_cls.takeover_round(net, programs))
+        booted.append(inst)
+    return booted, union_programs, union_contexts
+
+
+def _merge_joiners(
+    plane: StackedPlane,
+    pending,
+    joiners: Sequence[Tuple[int, PendingBroadcast]],
+):
+    """Scatter per-instance takeover broadcasts into the plane's traffic.
+
+    ``pending`` is the kernel's own outbound traffic for this plane round
+    (masks confined to already-absorbed instances; possibly several
+    differently-tagged parts); each joiner contributes its local handover
+    broadcast at its node-offset slice.  Joiners are grouped by tag: each
+    group merges into the kernel part carrying the same tag when one
+    exists, otherwise it becomes a new broadcast part — one plane round
+    may legitimately carry mixed tags when instances are in different
+    protocol phases.  Returns ``None`` / a single part / a tuple of
+    parts, in kernel-part order with appended joiner tags last.
+    """
+    parts = list(pending_parts(pending))
+    groups: Dict[str, List[Tuple[int, PendingBroadcast]]] = {}
+    for k, joiner in joiners:
+        if joiner.mask.any():
+            groups.setdefault(joiner.spec.tag, []).append((k, joiner))
+    for tag, group in groups.items():
+        target: Optional[PendingBroadcast] = None
+        for part in parts:
+            if isinstance(part, PendingBroadcast) and part.spec.tag == tag:
+                target = part
+                break
+        if target is None:
+            spec = group[0][1].spec
+            target = PendingBroadcast(
+                spec,
+                np.zeros(plane.n, dtype=bool),
+                tuple(
+                    np.zeros(plane.n, dtype=np.int64)
+                    for _ in range(spec.arity)
+                ),
+                np.zeros(plane.n, dtype=np.int64),
             )
-        pending = VectorEngine._collect_handover(records, specs, net.n)
-        if pending is _NONCONFORMING:
-            raise BatchEligibilityError(
-                "an instance queued non-conforming traffic during setup"
-            )
-        collected.append(pending)
-    # Stackable kernels never consult the network argument (there is no
-    # single network to hand them) — part of the `stackable` contract.
-    kernel = kernel_cls(plane, None, union_programs, union_contexts)
-    return kernel, _stitch_handover(plane, collected), union_contexts
+            parts.append(target)
+        for k, joiner in group:
+            lo = int(plane.node_offsets[k])
+            hi = lo + int(plane.local_ns[k])
+            # The kernel's own masks never cover a just-joining instance,
+            # so slice assignment cannot clobber absorbed traffic.
+            target.mask[lo:hi] = joiner.mask
+            target.bits[lo:hi] = joiner.bits
+            if joiner.spec.arity == target.spec.arity:
+                for i in range(target.spec.arity):
+                    target.columns[i][lo:hi] = joiner.columns[i]
+    if not parts:
+        return None
+    return parts[0] if len(parts) == 1 else tuple(parts)
 
 
 def _round_limits(
@@ -436,18 +659,68 @@ def _iter_stacked(
             plane.local_ns,
         )
     union_contexts: Optional[Dict[int, Context]] = None
+    #: Instances still in their scalar prologue, keyed by instance index.
+    prologue: Dict[int, _PrologueInstance] = {}
+    absorbed = np.ones(k_count, dtype=bool)
+    boot = None
     if kernel_cls.stacked_setup is not None:
         # Vectorized boot: no per-node program or context objects at all —
         # the kernel initializes its planes and the round-1 broadcast
         # directly from the instance inputs.  This is where batched sweeps
         # stop paying O(total nodes) Python object construction.
-        kernel, pending = kernel_cls.stacked_setup(
+        # ``stacked_setup`` implies a round-1 takeover for every instance;
+        # a kernel with *conditional* round-1 takeover (lemma310's
+        # canonical gate) returns ``None`` to decline the group, sending
+        # it through the object-level boot and its per-instance takeover
+        # machinery below.
+        boot = kernel_cls.stacked_setup(
             plane, list(inputs) if inputs else [None] * k_count
         )
+    if boot is not None:
+        kernel, pending = boot
     else:
-        kernel, pending, union_contexts = _scalar_boot(
+        booted, union_programs, union_contexts = _boot_instances(
             plane, networks, program_factory, inputs, kernel_cls
         )
+        specs = program_factory.message_specs
+        if all(inst.takeover <= 1 for inst in booted):
+            # Lockstep boot: every instance hands over at round 1, so the
+            # kernel is constructed from the union state and the setup
+            # traffic is stitched into one plane-wide broadcast.
+            collected: List[PendingBroadcast] = []
+            for inst in booted:
+                handover = VectorEngine._collect_handover(
+                    inst.drain, specs, inst.n
+                )
+                if handover is _NONCONFORMING:
+                    raise BatchEligibilityError(
+                        "an instance queued non-conforming traffic "
+                        "during setup"
+                    )
+                collected.append(handover)
+            # Stackable kernels never consult the network argument (there
+            # is no single network to hand them) — part of the `stackable`
+            # contract.
+            kernel = kernel_cls(plane, None, union_programs, union_contexts)
+            pending = _stitch_handover(plane, collected)
+        else:
+            # Per-instance takeover: boot the kernel dead and let each
+            # instance join the plane at its own takeover round, running
+            # exact scalar-prologue rounds until then.
+            if kernel_cls.absorb_instance is VectorKernel.absorb_instance:
+                raise BatchEligibilityError(
+                    f"{kernel_cls.__name__} takes over after round 1 but "
+                    "does not implement absorb_instance; instances cannot "
+                    "join the plane late"
+                )
+            kernel = kernel_cls.stacked_blank(plane)
+            pending = None
+            absorbed = np.zeros(k_count, dtype=bool)
+            oracle_factory = kernel_cls.prologue_oracle
+            for inst in booted:
+                if inst.takeover > 1 and oracle_factory is not None:
+                    inst.oracle = oracle_factory(inst.net, inst.programs)
+                prologue[inst.index] = inst
 
     # -- the stacked loop: VectorEngine._run_hybrid with K ledgers ----------
     #
@@ -495,20 +768,72 @@ def _iter_stacked(
             bits_per_round=[int(row[k]) for row in hist_bits[:executed]],
         )
 
+    specs = program_factory.message_specs
     rounds = 0
     live_k = plane.live_per_instance(kernel.live)
     while True:
+        # Per-instance takeover: instances whose next round is their
+        # takeover round hand their queued broadcast over and join the
+        # plane — the stacked analogue of the solo loop's top-of-loop
+        # takeover check, so handover traffic is charged *this* tick.
+        if prologue:
+            joiners: List[Tuple[int, PendingBroadcast]] = []
+            for k in sorted(prologue):
+                inst = prologue[k]
+                if finished[k] or inst_rounds[k] + 1 < inst.takeover:
+                    continue
+                handover = VectorEngine._collect_handover(
+                    inst.drain, specs, inst.n
+                )
+                if handover is _NONCONFORMING:
+                    raise BatchEligibilityError(
+                        "an instance queued non-conforming traffic at its "
+                        "takeover round"
+                    )
+                lo = int(plane.node_offsets[k])
+                kernel.absorb_instance(
+                    lo, lo + inst.n, inst.programs, inst.contexts
+                )
+                absorbed[k] = True
+                joiners.append((k, handover))
+            if joiners:
+                for k, _ in joiners:
+                    del prologue[k]
+                pending = _merge_joiners(plane, pending, joiners)
+                live_k = plane.live_per_instance(kernel.live)
+
         msgs_k, bits_k, wmax_k = _accumulate_round(
             plane, pending, node_budget, active_nodes
         )
+        # Scalar prologue instances: exact FastEngine collection and
+        # charging against the instance's own budget and running maximum,
+        # folded into this tick's per-instance ledger row.
+        for k, inst in prologue.items():
+            if finished[k]:
+                continue
+            touched, sizes = FastEngine._collect_traffic(
+                inst.drain, inst.inboxes
+            )
+            inst.touched = touched
+            round_bits, new_max = FastEngine._charge(
+                sizes, inst.inboxes, touched, inst.budget, int(wire_max[k])
+            )
+            msgs_k[k] += len(sizes)
+            bits_k[k] += round_bits
+            wire_max[k] = new_max
         total_bits += bits_k
         np.maximum(wire_max, wmax_k, out=wire_max)
         # Solo top-of-loop break: an instance with no live nodes has its
-        # in-flight traffic charged but does not execute the round.
-        newly = ~finished & (live_k == 0)
+        # in-flight traffic charged but does not execute the round.  A
+        # prologue instance's "no live nodes" is an empty active map.
+        newly = ~finished & absorbed & (live_k == 0)
+        for k, inst in prologue.items():
+            if not finished[k] and not inst.active:
+                newly[k] = True
         if newly.any():
             finished |= newly
             for k in np.flatnonzero(newly):
+                prologue.pop(int(k), None)
                 yield _finish(int(k))
         if finished.all():
             return
@@ -525,15 +850,23 @@ def _iter_stacked(
         hist_msgs.append(msgs_k)
         hist_bits.append(bits_k)
         rounds += 1
-        pending = kernel.step(rounds, pending)
+        pending = kernel.step(rounds, pending) if absorbed.any() else None
+        for k, inst in prologue.items():
+            if not finished[k]:
+                inst.execute_round(rounds)
         live_k = plane.live_per_instance(kernel.live)
         # Solo bottom-of-loop break: traffic an instance queued during its
         # final round is discarded *uncharged* (``active_nodes`` masks it
-        # out of the next accumulation).
-        newly = ~finished & (live_k == 0)
+        # out of the next accumulation; a finished prologue instance is
+        # simply never drained again).
+        newly = ~finished & absorbed & (live_k == 0)
+        for k, inst in prologue.items():
+            if not finished[k] and not inst.active:
+                newly[k] = True
         if newly.any():
             finished |= newly
             for k in np.flatnonzero(newly):
+                prologue.pop(int(k), None)
                 yield _finish(int(k))
         if finished.all():
             return

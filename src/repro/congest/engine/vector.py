@@ -33,19 +33,43 @@ Three pieces cooperate:
   (``tests/test_engine_parity.py``) proves all three engines
   observationally identical either way.
 
-The handover is one-directional (scalar → vector) and happens at most
-once per run: fully-broadcast programs (greedy MDS, rounding execution,
-color reduction) take over at round 1, while the Lemma 3.10 loop runs its
-color-class rounds — targeted ``alpha`` sends, at most one decider per
-2-neighborhood — under scalar semantics and vectorizes the final
-execution-phase broadcasts.
+In a *solo* run the handover is one-directional (scalar → vector) and
+happens at most once: fully-broadcast programs (greedy MDS, rounding
+execution, color reduction) take over at round 1, and so does the
+Lemma 3.10 loop on its canonical uniform inputs — its color-class rounds
+run *in-plane*, with the targeted ``alpha`` sends expressed as
+:class:`PendingTargeted` slot traffic and a round optionally carrying
+several differently-tagged parts at once.  On heterogeneous inputs the
+loop instead runs those rounds under scalar semantics and vectorizes the
+final execution-phase broadcasts (takeover at ``2 + 3*num_colors``; the
+takeover round is per-instance, input-dependent state).  In a *stacked* run
+(:mod:`repro.congest.engine.batched`) the boundary is crossed **per
+instance**: instances whose takeover round has not arrived keep executing
+scalar rounds against the shared global clock while already-absorbed
+instances run on the plane, and each scalar instance's traffic is folded
+into the vectorized ledger every round — the handover machinery is
+two-directional for the duration of the run.  See
+:meth:`VectorKernel.stacked_blank` / :meth:`VectorKernel.absorb_instance`.
+
+The plane itself is backend-agnostic: every :class:`CsrPlane` hot-path
+operation routes through :func:`plane_namespace`, an array-namespace seam
+defaulting to numpy.  Under numpy the exact ``reduceat`` fast paths run
+unchanged; under any other array-API namespace (``array-api-strict`` for
+conformance testing, CuPy for GPUs) the same reductions run through
+portable segment kernels — cumulative-sum differences for segment sums,
+log-doubling sweeps for segment maxima — so switching backends is a
+:func:`use_plane_namespace` call rather than a rewrite.  The seam covers
+the plane (topology arrays plus row reductions, gathers and sender-slot
+expansion); the engine loops and kernels above it still assume
+numpy-compatible semantics.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from array import array
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -58,6 +82,7 @@ from repro.congest.message import (
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
 from repro.errors import (
+    BatchEligibilityError,
     CongestError,
     MessageTooLargeError,
     SimulationLimitError,
@@ -70,8 +95,51 @@ __all__ = [
     "VectorEngine",
     "VectorKernel",
     "kernel_for",
+    "plane_namespace",
     "register_kernel",
+    "set_plane_namespace",
+    "use_plane_namespace",
 ]
+
+#: The configured array namespace for plane arrays; ``None`` means numpy.
+_PLANE_NAMESPACE = None
+
+
+def plane_namespace():
+    """The active array namespace for message-plane arrays.
+
+    This is the backend seam: :class:`CsrPlane` (and the stacked plane
+    built on it) capture the namespace returned here at construction and
+    route every hot-path operation through it.  Defaults to numpy;
+    configure another array-API namespace (``array_api_strict``, CuPy)
+    with :func:`set_plane_namespace` or :func:`use_plane_namespace`.
+    """
+    return np if _PLANE_NAMESPACE is None else _PLANE_NAMESPACE
+
+
+def set_plane_namespace(xp):
+    """Install ``xp`` as the plane's array namespace; returns the previous.
+
+    ``None`` restores the numpy default.  The namespace must implement the
+    array API standard operations the plane uses (``asarray``, ``astype``,
+    ``take``, ``where``, ``maximum``, ``cumulative_sum``, ``searchsorted``
+    and the basic constructors); numpy itself always qualifies and keeps
+    its exact ``reduceat`` fast paths.
+    """
+    global _PLANE_NAMESPACE
+    previous = _PLANE_NAMESPACE
+    _PLANE_NAMESPACE = xp
+    return previous
+
+
+@contextmanager
+def use_plane_namespace(xp):
+    """Context manager: run a block with ``xp`` as the plane namespace."""
+    previous = set_plane_namespace(xp)
+    try:
+        yield xp
+    finally:
+        set_plane_namespace(previous)
 
 #: Largest field value whose bit length the float64 ``frexp`` trick recovers
 #: exactly.  CONGEST fields are O(log n)-bit by design, so this is purely a
@@ -162,18 +230,70 @@ class PendingBroadcast:
         self.bits = bits
 
 
+class PendingTargeted:
+    """One round's in-flight *targeted* traffic, addressed per CSR slot.
+
+    The broadcast plane cannot express a round where each sender picks one
+    recipient (``ctx.send``), so targeted phases — Lemma 3.10's alpha
+    quotes — ride in receiver-side slot form: slot ``s`` of row ``v``
+    (``indptr[v] <= s < indptr[v+1]``) carries a message from ``v``'s
+    peer ``indices[s]`` to ``v`` iff ``slot_mask[s]``.  ``columns`` holds
+    one slot-length int64 array per field and ``bits`` the exact
+    per-message wire size; unmasked entries are ignored.  Exactly one
+    message per masked slot travels on the wire, so accounting is a
+    masked sum instead of the broadcast's degree weighting.
+    """
+
+    __slots__ = ("spec", "slot_mask", "columns", "bits")
+
+    def __init__(
+        self,
+        spec: MessageSpec,
+        slot_mask: np.ndarray,
+        columns: Tuple[np.ndarray, ...],
+        bits: np.ndarray,
+    ):
+        self.spec = spec
+        self.slot_mask = slot_mask
+        self.columns = columns
+        self.bits = bits
+
+
+#: What a kernel may hand the round loop: nothing, one broadcast, one
+#: targeted batch, or several of them at once (a ragged stacked plane can
+#: have instances in different protocol phases, so one plane round may
+#: carry differently-tagged traffic side by side).
+PendingTraffic = Union[
+    None, PendingBroadcast, PendingTargeted, Tuple[object, ...]
+]
+
+
+def pending_parts(pending: PendingTraffic) -> Tuple[object, ...]:
+    """Normalize a kernel's outbound traffic to a tuple of parts."""
+    if pending is None:
+        return ()
+    if isinstance(pending, tuple):
+        return pending
+    return (pending,)
+
+
 class CsrPlane:
-    """Numpy view of a network's CSR topology plus exact row reductions.
+    """Array view of a network's CSR topology plus exact row reductions.
 
     ``indices[indptr[v]:indptr[v+1]]`` are the neighbors of ``v`` (the
-    *slots* of row ``v``).  Row reductions use ``ufunc.reduceat`` over the
-    non-empty rows only, so isolated nodes are handled without branching
-    and all arithmetic stays in int64 (bit-exact, unlike float matvecs).
+    *slots* of row ``v``).  The plane captures :func:`plane_namespace` at
+    construction.  Under numpy, row reductions use ``ufunc.reduceat`` over
+    the non-empty rows only; under any other array-API namespace the same
+    reductions run through portable segment kernels (cumulative-sum
+    differences, log-doubling maxima).  Either way isolated nodes are
+    handled without branching and all arithmetic stays in int64
+    (bit-exact, unlike float matvecs).
     """
 
     __slots__ = (
         "n",
         "nnz",
+        "xp",
         "indptr",
         "indices",
         "degrees",
@@ -182,6 +302,8 @@ class CsrPlane:
         "local_n_of",
         "_nonempty",
         "_starts",
+        "_slot_row_end",
+        "_max_degree",
     )
 
     def __init__(self, network: Network):
@@ -196,34 +318,94 @@ class CsrPlane:
         # it runs on" — the quantity stackable kernels must base packed keys
         # and round schedules on, because a *ragged* stacked plane holds
         # instances of different sizes (``local_n`` is then ``None``).
+        xp = self.xp
         self.local_n = self.n
-        self.local_ids = np.arange(self.n, dtype=np.int64)
-        self.local_n_of = np.full(self.n, self.n, dtype=np.int64)
+        self.local_ids = xp.arange(self.n, dtype=xp.int64)
+        self.local_n_of = xp.full(self.n, self.n, dtype=xp.int64)
 
     def _init_arrays(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        xp = plane_namespace()
+        self.xp = xp
+        if xp is not np:
+            indptr = xp.asarray(np.asarray(indptr), dtype=xp.int64)
+            indices = xp.asarray(np.asarray(indices), dtype=xp.int64)
         self.indptr = indptr
         self.indices = indices
         self.n = int(indptr.shape[0]) - 1
-        self.nnz = int(self.indices.shape[0])
-        self.degrees = np.diff(self.indptr)
-        self._nonempty = self.degrees > 0
-        self._starts = self.indptr[:-1][self._nonempty]
+        self.nnz = int(indices.shape[0])
+        self.degrees = self.indptr[1:] - self.indptr[:-1]
+        if xp is np:
+            self._nonempty = self.degrees > 0
+            self._starts = self.indptr[:-1][self._nonempty]
+            self._slot_row_end = None
+            self._max_degree = None
+        else:
+            # Portable-path helper tables: the row-end slot index of every
+            # slot (for the log-doubling segment max) and the widest row
+            # (its doubling depth).  Built once; the per-round reductions
+            # below touch only array-API standard operations.
+            self._nonempty = None
+            self._starts = None
+            if self.nnz:
+                slots = xp.arange(self.nnz, dtype=xp.int64)
+                rows = xp.searchsorted(self.indptr, slots, side="right") - 1
+                self._slot_row_end = xp.take(self.indptr, rows + 1)
+            else:
+                self._slot_row_end = xp.zeros(0, dtype=xp.int64)
+            self._max_degree = int(xp.max(self.degrees)) if self.n else 0
+
+    def _as_i64(self, values):
+        """Coerce slot values to an int64 array of the plane's namespace."""
+        xp = self.xp
+        values = xp.asarray(values)
+        if values.dtype != xp.int64:
+            values = xp.astype(values, xp.int64)
+        return values
 
     def row_sum(self, slot_values: np.ndarray) -> np.ndarray:
         """Per-node sum of ``slot_values`` over each node's slots."""
-        out = np.zeros(self.n, dtype=np.int64)
-        if self._starts.size:
-            values = np.asarray(slot_values).astype(np.int64, copy=False)
-            out[self._nonempty] = np.add.reduceat(values, self._starts)
-        return out
+        if self.xp is np:
+            out = np.zeros(self.n, dtype=np.int64)
+            if self._starts.size:
+                values = np.asarray(slot_values).astype(np.int64, copy=False)
+                out[self._nonempty] = np.add.reduceat(values, self._starts)
+            return out
+        xp = self.xp
+        csum = xp.cumulative_sum(self._as_i64(slot_values), include_initial=True)
+        return xp.take(csum, self.indptr[1:]) - xp.take(csum, self.indptr[:-1])
 
     def row_max(self, slot_values: np.ndarray, empty: int) -> np.ndarray:
         """Per-node max of ``slot_values``; ``empty`` for isolated nodes."""
-        out = np.full(self.n, empty, dtype=np.int64)
-        if self._starts.size:
-            values = np.asarray(slot_values).astype(np.int64, copy=False)
-            out[self._nonempty] = np.maximum.reduceat(values, self._starts)
-        return out
+        if self.xp is np:
+            out = np.full(self.n, empty, dtype=np.int64)
+            if self._starts.size:
+                values = np.asarray(slot_values).astype(np.int64, copy=False)
+                out[self._nonempty] = np.maximum.reduceat(values, self._starts)
+            return out
+        xp = self.xp
+        if not self.nnz:
+            return xp.full(self.n, empty, dtype=xp.int64)
+        # Log-doubling suffix sweep: after k passes, ``maxima[i]`` holds the
+        # max of slots [i, min(i + 2**k, row_end(i))), so each row's max
+        # lands on its first slot after ceil(log2(max_degree)) passes.
+        maxima = self._as_i64(slot_values)
+        slots = xp.arange(self.nnz, dtype=xp.int64)
+        offset = 1
+        while offset < self._max_degree:
+            reach = slots + offset
+            source = xp.where(reach < self.nnz, reach, self.nnz - 1)
+            shifted = xp.take(maxima, source)
+            maxima = xp.where(
+                reach < self._slot_row_end, xp.maximum(maxima, shifted), maxima
+            )
+            offset <<= 1
+        starts = self.indptr[:-1]
+        heads = xp.take(
+            maxima, xp.where(starts < self.nnz, starts, self.nnz - 1)
+        )
+        return xp.where(
+            self.degrees > 0, heads, xp.full(self.n, empty, dtype=xp.int64)
+        )
 
     def row_any(self, slot_flags: np.ndarray) -> np.ndarray:
         """Per-node "any slot true" as a boolean array."""
@@ -231,13 +413,22 @@ class CsrPlane:
 
     def sent_slots(self, pending: Optional[PendingBroadcast]) -> np.ndarray:
         """Slot-level sender flags for one round of broadcast traffic."""
+        xp = self.xp
         if pending is None:
-            return np.zeros(self.nnz, dtype=bool)
-        return pending.mask[self.indices]
+            return (
+                np.zeros(self.nnz, dtype=bool)
+                if xp is np
+                else xp.zeros(self.nnz, dtype=xp.bool)
+            )
+        if xp is np:
+            return pending.mask[self.indices]
+        return xp.take(xp.asarray(pending.mask), self.indices)
 
     def gather(self, per_node: np.ndarray) -> np.ndarray:
         """Slot-level view of a per-node array (value of each slot's peer)."""
-        return per_node[self.indices]
+        if self.xp is np:
+            return per_node[self.indices]
+        return self.xp.take(self.xp.asarray(per_node), self.indices)
 
 
 def _as_int64(values) -> np.ndarray:
@@ -262,15 +453,19 @@ class VectorKernel(ABC):
 
     #: Stacking contract (see :mod:`repro.congest.engine.batched`): ``True``
     #: iff K independent instances of this kernel may execute as one stacked
-    #: message plane.  Requires (a) a constant ``takeover_round`` of 1 — all
-    #: instances enter the plane in lockstep with no scalar prefix — and
-    #: (b) per-node transitions that consult only intra-instance data:
-    #: ``plane.local_n_of`` / ``plane.local_ids`` instead of global ids and
-    #: the global ``plane.n``, and never ``self.network`` (a stacked run has
-    #: no single network).  Stacked planes may be *ragged* — instances of
-    #: different sizes — so per-instance quantities (packed-key bases, round
-    #: schedules) must come from the per-node ``local_n_of`` array, never
-    #: from a single scalar ``n``.
+    #: message plane.  Requires per-node transitions that consult only
+    #: intra-instance data: ``plane.local_n_of`` / ``plane.local_ids``
+    #: instead of global ids and the global ``plane.n``, and never
+    #: ``self.network`` (a stacked run has no single network).  Stacked
+    #: planes may be *ragged* — instances of different sizes — so
+    #: per-instance quantities (packed-key bases, round schedules) must come
+    #: from the per-node ``local_n_of`` array, never from a single scalar
+    #: ``n``.  Instances need not enter the plane in lockstep: a kernel
+    #: whose ``takeover_round`` exceeds 1 must implement
+    #: :meth:`absorb_instance` (usually together with
+    #: :attr:`prologue_oracle`), and the stacked runner executes each
+    #: instance's scalar prologue against the shared global clock before
+    #: absorbing its state into the plane at its own takeover round.
     stackable = True
 
     @classmethod
@@ -298,9 +493,61 @@ class VectorKernel(ABC):
     #: first global node, ``plane.local_ns[k]`` its size — instances need
     #: not share one size).  The implementation must reproduce the scalar
     #: boot bit for bit: same initial state, same round-1 broadcast
-    #: mask/columns/bits.  ``None`` means the stacked runner boots through
-    #: the scalar path.
+    #: mask/columns/bits.  A ``None`` *attribute* means the stacked runner
+    #: always boots through the scalar path; an implementation may also
+    #: *return* ``None`` to decline one particular group (a kernel whose
+    #: round-1 takeover is conditional on the inputs, e.g. lemma310's
+    #: canonical gate), which sends that group through the scalar boot
+    #: and the per-instance takeover machinery.
     stacked_setup = None
+
+    #: Scalar-prologue actor oracle (optional, stacked runs only): a
+    #: classmethod ``prologue_oracle(network, programs) ->
+    #: Callable[[int], Optional[np.ndarray]]`` mapping a *local* round
+    #: number to the sorted array of local node ids whose ``receive`` can
+    #: act that round (``None`` = every active node must run).  The stacked
+    #: runner uses it to skip provably no-op ``receive`` calls while an
+    #: instance is still in its scalar prologue; skipping a node must be
+    #: observationally identical to delivering its (empty) inbox that
+    #: round.  ``None`` disables the optimization.
+    prologue_oracle = None
+
+    @classmethod
+    def stacked_blank(cls, plane: "CsrPlane") -> "VectorKernel":
+        """Kernel shell for stacked runs with per-instance takeover rounds.
+
+        Like :meth:`_blank` but every node starts *dead*: instances light
+        up their slice of the plane only when :meth:`absorb_instance`
+        hands their scalar-prologue state over.  Subclasses with extra
+        per-node state arrays override this to allocate them (zeroed) at
+        full plane width.
+        """
+        kernel = cls._blank(plane)
+        kernel.live = np.zeros(plane.n, dtype=bool)
+        return kernel
+
+    def absorb_instance(
+        self,
+        lo: int,
+        hi: int,
+        programs: Dict[int, NodeProgram],
+        contexts: Dict[int, Context],
+    ) -> None:
+        """Load one instance's scalar state into plane slice ``[lo, hi)``.
+
+        Called by the stacked runner at the instance's takeover round with
+        that instance's per-node programs and contexts (*local* ids;
+        global id = local id + ``lo``).  Implementations must set
+        ``self.live[lo:hi]`` from the contexts' halted flags and fill
+        every per-node state array exactly as ``__init__`` would for a
+        solo run.  The default refuses — kernels that take over at round 1
+        never need it, and the stacked runner converts the refusal into a
+        per-cell fallback.
+        """
+        raise BatchEligibilityError(
+            f"{type(self).__name__} cannot absorb a scalar prologue; "
+            "kernels with takeover_round > 1 must implement absorb_instance"
+        )
 
     def __init__(
         self,
@@ -618,19 +865,38 @@ class VectorEngine(Engine):
     @staticmethod
     def _account(
         plane: CsrPlane,
-        pending: Optional[PendingBroadcast],
+        pending: PendingTraffic,
         budget: Optional[int],
     ) -> Tuple[int, int, int]:
         """Exact wire totals ``(messages, bits, max_bits)`` for one round.
 
-        A broadcast puts ``degree`` copies of the sender's message on the
-        wire, so per-round counts are degree-weighted sums over the sender
-        mask — no per-edge materialization.  Raises
-        :class:`MessageTooLargeError` for the lowest-id over-budget sender,
-        matching the scalar engines' ascending scan.
+        A round may carry several independently-tagged parts (broadcast
+        and/or targeted); totals are summed across them.  A broadcast puts
+        ``degree`` copies of the sender's message on the wire, so its
+        counts are degree-weighted sums over the sender mask; a targeted
+        part puts exactly one message per masked slot on the wire, so its
+        counts are masked sums.  Raises :class:`MessageTooLargeError` for
+        the lowest-id over-budget sender, matching the scalar engines'
+        ascending scan.
         """
-        if pending is None:
-            return 0, 0, 0
+        messages = bits_total = wire_max = 0
+        for part in pending_parts(pending):
+            if isinstance(part, PendingTargeted):
+                m, b, w = VectorEngine._account_targeted(plane, part, budget)
+            else:
+                m, b, w = VectorEngine._account_broadcast(plane, part, budget)
+            messages += m
+            bits_total += b
+            if w > wire_max:
+                wire_max = w
+        return messages, bits_total, wire_max
+
+    @staticmethod
+    def _account_broadcast(
+        plane: CsrPlane,
+        pending: PendingBroadcast,
+        budget: Optional[int],
+    ) -> Tuple[int, int, int]:
         on_wire = pending.mask & (plane.degrees > 0)
         if not on_wire.any():
             return 0, 0, 0
@@ -644,3 +910,32 @@ class VectorEngine(Engine):
                 sender, receiver, int(pending.bits[sender]), budget
             )
         return int(degrees.sum()), int((degrees * bits).sum()), wire_max
+
+    @staticmethod
+    def _account_targeted(
+        plane: CsrPlane,
+        pending: PendingTargeted,
+        budget: Optional[int],
+    ) -> Tuple[int, int, int]:
+        mask = pending.slot_mask
+        if not mask.any():
+            return 0, 0, 0
+        bits = pending.bits[mask]
+        wire_max = int(bits.max())
+        if budget is not None and wire_max > budget:
+            slots = np.flatnonzero(mask & (pending.bits > budget))
+            senders = np.asarray(plane.indices)[slots]
+            # Slot order is receiver order; the scalar engines scan
+            # ascending *senders*, so pick lowest sender, then receiver.
+            slot = int(slots[np.lexsort((slots, senders))[0]])
+            receiver = (
+                int(np.searchsorted(np.asarray(plane.indptr), slot, "right"))
+                - 1
+            )
+            raise MessageTooLargeError(
+                int(plane.indices[slot]),
+                receiver,
+                int(pending.bits[slot]),
+                budget,
+            )
+        return int(mask.sum()), int(bits.sum()), wire_max

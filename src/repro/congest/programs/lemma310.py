@@ -25,19 +25,24 @@ to the paper's alpha quantization; tests compare the two end to end.
 
 from __future__ import annotations
 
+import math
+import weakref
 from typing import Dict, Mapping, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
 from repro.congest.engine import (
+    CsrPlane,
     EngineSpec,
     MessageSpec,
     PendingBroadcast,
+    PendingTargeted,
     VectorKernel,
+    pending_parts,
     register_kernel,
 )
-from repro.congest.message import Message
+from repro.congest.message import MESSAGE_HEADER_BITS, Message
 from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
 from repro.congest.simulator import SimulationResult, Simulator
@@ -55,10 +60,14 @@ class Lemma310Program(NodeProgram):
     """
 
     #: The broadcast-shaped phases (value exchange, coin announcements and
-    #: the execution rounds).  The color-class rounds use targeted
-    #: ``announce``/``alpha`` sends and are *not* vector-eligible — the
-    #: vector engine runs them under FastEngine semantics and takes over at
-    #: the execution phase (see :class:`Lemma310ExecutionKernel`).
+    #: the execution rounds).  The color-class rounds additionally use
+    #: ``announce`` broadcasts and targeted ``alpha`` sends; those ride on
+    #: kernel-internal specs (they are never handover traffic, so they are
+    #: not listed here).  For the canonical uniform workload the vector
+    #: kernel runs the *whole* protocol in-plane from round 1; anything
+    #: else runs the color-class rounds under scalar FastEngine semantics
+    #: with takeover at the execution phase (see
+    #: :class:`Lemma310ExecutionKernel`).
     message_specs = (
         MessageSpec("xp", "x_num", "p_num"),
         MessageSpec("fixed", "coin"),
@@ -244,32 +253,167 @@ class Lemma310Program(NodeProgram):
             ctx.halt()
 
 
+#: Kernel-internal wire specs for the color-class rounds.  ``announce``
+#: is a field-less broadcast (header bits only); ``alpha`` is a targeted
+#: two-field quote.  They never appear in handover traffic, so they are
+#: deliberately not part of :attr:`Lemma310Program.message_specs`.
+_ANNOUNCE_SPEC = MessageSpec("announce")
+_ALPHA_SPEC = MessageSpec("alpha", "alpha0", "alpha1")
+_XP_SPEC, _FIXED_SPEC, _EXEC_SPEC = Lemma310Program.message_specs
+
+#: Element-wise ``math.exp`` — NOT ``np.exp``.  The scalar estimator calls
+#: libm's ``exp`` per node and its exact float results are part of the
+#: observable contract (alpha quotes round to wire integers); numpy's
+#: vectorized exp may differ by an ULP, which is enough to flip a
+#: rounded quote.  ``frompyfunc`` applies the very same libm call
+#: element-wise; it only ever runs on the few masked slots of a class
+#: round, so the python-level dispatch cost is noise.
+_VEC_EXP = np.frompyfunc(math.exp, 1, 1)
+
+
+def _exp_exact(values: np.ndarray) -> np.ndarray:
+    return _VEC_EXP(values).astype(np.float64)
+
+
 @register_kernel(Lemma310Program)
 class Lemma310ExecutionKernel(VectorKernel):
-    """Vectorized execution phase of the Lemma 3.10 loop.
+    """Vectorized Lemma 3.10 loop with a two-speed takeover.
 
-    The conditional-expectation rounds (announce / alpha / decide per color
-    class) involve targeted sends and per-node estimator math, so the
-    engine runs them scalar; takeover happens at round ``2 + 3 *
-    num_colors``, the first execution round, where every node has queued
-    its ``exec`` broadcast of the phase-one value.  From there the
-    constraint check is one int64 scatter/gather round.
+    For the **canonical uniform workload** — every node participating with
+    ``x = p`` on a shared grid, ``c = 1``, mode ``auto`` and a proper
+    coloring — the kernel takes over at **round 1** and runs the
+    color-class conditional-expectation rounds themselves inside the
+    plane: announce broadcasts, targeted alpha quotes
+    (:class:`PendingTargeted`), decide/fix, and estimator folds, all as
+    flat array updates.  Under these inputs every coin weight is exactly
+    ``1.0`` and the estimator resolves to exact-product mode, so its float
+    operation *sequence* collapses to IEEE-identical array arithmetic:
+    the log-product starts as a left-fold of equal ``log1p(-p)`` terms
+    (replayed via a partial-sum table), updates are single subtractions,
+    and ``phi`` bounds call libm's ``exp`` per element (see
+    :data:`_VEC_EXP`).  Results stay bit-for-bit equal to the scalar
+    engines.
+
+    Anything non-canonical keeps the original split: the engine runs the
+    color-class rounds scalar and the kernel takes over at round
+    ``2 + 3 * num_colors``, the first execution round, where every node
+    has queued its ``exec`` broadcast of the phase-one value.
+
+    Stacked runs exploit the per-instance takeover machinery
+    (:mod:`repro.congest.engine.batched`) in both directions: canonical
+    instances join the plane at round 1 (an all-canonical group runs
+    fully lockstep, no scalar prologue at all), while heterogeneous
+    instances run their own sparse scalar prologue — via
+    :meth:`prologue_oracle`'s statically-derived actor sets — and join at
+    their own ``2 + 3 * num_colors`` round via :meth:`absorb_instance`.
+    One plane round may then carry differently-tagged traffic from
+    instances in different phases (multi-part pendings).
     """
-
-    #: Not stackable: takeover happens after a per-instance number of
-    #: scalar color-class rounds (``2 + 3 * num_colors``), so K instances
-    #: cannot enter a shared message plane in lockstep.  Solo runs still
-    #: vectorize the execution phase; batched sweeps fall back per cell.
-    stackable = False
 
     @classmethod
     def eligible(cls, network, programs) -> bool:
         num_colors = {p.num_colors for p in programs.values()}
         return len(num_colors) == 1
 
+    @staticmethod
+    def _vectorizable_inputs(progs, max_degree: int) -> bool:
+        """Can the color-class rounds run in-plane for these inputs?
+
+        The gate pins down exactly the regime where the scalar float
+        sequence is replayable as array math: every node participates with
+        the *same* ``x_num == p_num`` (uniformity makes every coin weight
+        exactly ``1.0``, resolves ``mode='auto'`` to exact-product, and —
+        critically — makes every free coin contribute the same
+        ``log1p(-p)`` term, so the initial log-product is a function of
+        degree alone), ``c_num == scale`` (``c == 1.0``, making
+        ``satisfied`` an integer count), a proper color in
+        ``[0, num_colors)`` on a uniform grid, and degrees small enough
+        that the estimator's 512-update refresh never fires (the
+        vectorized log-product replays the scalar *subtraction* sequence,
+        not the refresh recompute; a node commits at most ``degree + 1``
+        coins).
+        """
+        if not progs:
+            return False
+        first = progs[0]
+        scale = first.scale
+        num_colors = first.num_colors
+        x_num = first.x_num
+        if num_colors < 1 or max_degree + 1 >= 512:
+            return False
+        for p in progs:
+            if (
+                p.scale != scale
+                or p.num_colors != num_colors
+                or p.mode != "auto"
+                or p.x_num != x_num
+                or p.p_num != x_num
+                or not (0 < x_num < scale)
+                or p.c_num != scale
+                or not (0 <= p.color < num_colors)
+            ):
+                return False
+        return True
+
     @classmethod
     def takeover_round(cls, network, programs) -> int:
+        n = network.n
+        progs = [programs[v] for v in range(n)]
+        indptr, _indices = network.csr()
+        degrees = np.diff(np.asarray(indptr, dtype=np.int64))
+        max_degree = int(degrees.max()) if n else 0
+        if cls._vectorizable_inputs(progs, max_degree):
+            return 1
         return 2 + 3 * programs[0].num_colors
+
+    @classmethod
+    def prologue_oracle(cls, network, programs):
+        """Static per-round actor sets for the color-class prologue.
+
+        The prologue's actors are fully determined by the inputs: the
+        deciders of class ``i`` are the participating nodes of color ``i``
+        (their coins are still free when class ``i`` opens — classes fix
+        coins in order), so for class rounds ``2+3i`` / ``3+3i`` / ``4+3i``
+        the acting nodes are the deciders' neighborhoods, the deciders
+        themselves, and the union of the deciders' neighborhoods with the
+        next class's deciders.  Every skipped node sees an empty inbox and
+        falls through ``receive`` without touching estimator state, so
+        sparse execution is observationally identical to the full scan.
+        Rounds outside the table (the exchange round, the final exec
+        broadcast where everyone acts, and the post-takeover rounds)
+        return ``None`` — every active node runs.
+        """
+        plane = CsrPlane(network)
+        n = plane.n
+        color = np.fromiter(
+            (programs[v].color for v in range(n)), dtype=np.int64, count=n
+        )
+        participates = np.fromiter(
+            (
+                programs[v]._participates(
+                    programs[v].x_num, programs[v].p_num
+                )
+                for v in range(n)
+            ),
+            dtype=bool,
+            count=n,
+        )
+        num_colors = int(programs[0].num_colors) if n else 0
+        decider_color = np.where(participates, color, -1)
+        slot_class = np.repeat(decider_color, np.asarray(plane.degrees))
+        table: Dict[int, np.ndarray] = {}
+        for i in range(num_colors):
+            deciders = np.flatnonzero(decider_color == i)
+            # Distance-2 coloring ⇒ decider neighborhoods of one class are
+            # disjoint; ``unique`` both sorts and guards improper inputs.
+            heard = np.unique(np.asarray(plane.indices)[slot_class == i])
+            table[2 + 3 * i] = heard
+            table[3 + 3 * i] = deciders
+            if i + 1 < num_colors:
+                table[4 + 3 * i] = np.union1d(
+                    heard, np.flatnonzero(decider_color == i + 1)
+                )
+        return table.get
 
     def __init__(self, plane, network, programs, contexts):
         super().__init__(plane, network, programs, contexts)
@@ -293,17 +437,417 @@ class Lemma310ExecutionKernel(VectorKernel):
             dtype=np.int64,
             count=n,
         )
+        self._alloc_protocol_arrays(n)
+        # Round-1 takeover: instances whose inputs pass the gate run the
+        # color-class rounds in-plane.  Evaluated per instance slice; a
+        # failing slice would have reported a later takeover round, so on
+        # a lockstep plane every slice passes (and on a solo exec-phase
+        # takeover none does).
+        offsets = getattr(plane, "node_offsets", None)
+        if offsets is None:
+            slices = [(0, n)]
+        else:
+            slices = [
+                (int(offsets[i]), int(offsets[i + 1]))
+                for i in range(len(offsets) - 1)
+            ]
+        for lo, hi in slices:
+            progs = [programs[v] for v in range(lo, hi)]
+            degrees = np.asarray(plane.degrees[lo:hi])
+            max_degree = int(degrees.max()) if hi > lo else 0
+            if self._vectorizable_inputs(progs, max_degree):
+                self._init_protocol_slice(lo, hi, progs)
 
-    def step(
-        self, round_no: int, inbound: Optional[PendingBroadcast]
-    ) -> Optional[PendingBroadcast]:
+    def _alloc_protocol_arrays(self, n: int) -> None:
+        """Flat state for the in-plane color-class rounds (gate-passing
+        slices only; elsewhere the arrays stay at their dead defaults)."""
+        self.vectorized = np.zeros(n, dtype=bool)
+        self.color = np.full(n, -1, dtype=np.int64)
+        self.num_colors = np.zeros(n, dtype=np.int64)
+        #: exact per-instance ``log1p(-p)`` coin factor
+        self.t = np.zeros(n, dtype=np.float64)
+        #: ``f(x_num)`` — the undecided neighbor's expected phase-one value
+        self.x_f = np.zeros(n, dtype=np.float64)
+        self.scale_f = np.ones(n, dtype=np.float64)
+        #: the estimator's ``_log_prod`` over still-free coins
+        self.log_prod = np.zeros(n, dtype=np.float64)
+        #: integer count of successfully-fixed coins; under the gate the
+        #: scalar ``fixed_sum`` is exactly ``1.0 * fixed_success``, so the
+        #: ``satisfied`` test is the exact integer comparison ``>= 1``
+        self.fixed_success = np.zeros(n, dtype=np.int64)
+        self._slot_rows_cache: Optional[np.ndarray] = None
+
+    def _init_protocol_slice(self, lo: int, hi: int, progs) -> None:
+        """Load one gate-passing instance slice at its round-1 takeover."""
+        count = hi - lo
+        first = progs[0]
+        color = np.fromiter(
+            (p.color for p in progs), dtype=np.int64, count=count
+        )
+        self._load_protocol_slice(
+            lo, hi, color, first.num_colors, first.scale, first.x_num
+        )
+
+    def _load_protocol_slice(
+        self,
+        lo: int,
+        hi: int,
+        color: np.ndarray,
+        num_colors: int,
+        scale: int,
+        x_num: int,
+    ) -> None:
+        """Fill one instance slice's in-plane protocol state from raw
+        gate-passing values (shared by the program-object boot and
+        :meth:`stacked_setup`'s input-dict boot).
+
+        Replays the scalar estimator constructor exactly: each node's
+        initial ``_log_prod`` is a *left-fold* of ``degree + 1`` equal
+        ``log1p(-p)`` terms, reproduced by indexing a partial-sum table
+        built with the same sequential additions (``np.cumsum`` pairwise
+        summation would NOT match the scalar fold bit-for-bit).
+        """
+        count = hi - lo
+        p_f = x_num / scale
+        t = math.log1p(-p_f)
+        degrees = np.asarray(self.plane.degrees[lo:hi])
+        max_degree = int(degrees.max()) if count else 0
+        partial = [0.0]
+        for _ in range(max_degree + 1):
+            partial.append(partial[-1] + t)
+        table = np.asarray(partial, dtype=np.float64)
+        self.vectorized[lo:hi] = True
+        self.color[lo:hi] = color
+        self.num_colors[lo:hi] = num_colors
+        self.t[lo:hi] = t
+        self.x_f[lo:hi] = p_f
+        self.scale_f[lo:hi] = float(scale)
+        self.log_prod[lo:hi] = table[degrees + 1]
+        self.fixed_success[lo:hi] = 0
+
+    def _slot_rows(self) -> np.ndarray:
+        """Receiver row of every CSR slot (lazy; class rounds only)."""
+        if self._slot_rows_cache is None:
+            plane = self.plane
+            self._slot_rows_cache = np.repeat(
+                np.arange(plane.n, dtype=np.int64),
+                np.asarray(plane.degrees),
+            )
+        return self._slot_rows_cache
+
+    @classmethod
+    def stacked_blank(cls, plane):
+        """All-dead kernel shell; instance slices filled at absorb time."""
+        kernel = cls._blank(plane)
+        n = plane.n
+        kernel.live = np.zeros(n, dtype=bool)
+        kernel.final_x = np.zeros(n, dtype=np.int64)
+        kernel.c_num = np.zeros(n, dtype=np.int64)
+        kernel.scale = np.ones(n, dtype=np.int64)
+        kernel.coin = np.full(n, -1, dtype=np.int64)
+        kernel._alloc_protocol_arrays(n)
+        return kernel
+
+    @classmethod
+    def stacked_setup(cls, plane, inputs):
+        """Vectorized boot for all-canonical groups; ``None`` otherwise.
+
+        A batched sweep of the canonical uniform workload never needs a
+        scalar prologue: every instance passes the round-1 gate, so the
+        whole boot — program state, protocol planes, and the setup
+        round's ``xp`` broadcast — is synthesized directly from the input
+        dicts, skipping O(total nodes) program/context construction and
+        scalar ``setup`` calls.  The gate is re-evaluated from the raw
+        inputs here; any non-canonical (or incomplete) instance declines
+        the *group* by returning ``None``, which routes it through the
+        object-level boot where canonical members still join the plane at
+        round 1 and the rest run their scalar prologues.
+        """
+        n = plane.n
+        k_count = len(plane.local_ns)
+        degrees = np.asarray(plane.degrees)
+        kernel = cls.stacked_blank(plane)
+        kernel.live[:] = True
+        x_col = np.zeros(n, dtype=np.int64)
+        p_col = np.zeros(n, dtype=np.int64)
+        for k in range(k_count):
+            mapping = inputs[k]
+            if not mapping:
+                return None
+            lo = int(plane.node_offsets[k])
+            count = int(plane.local_ns[k])
+            hi = lo + count
+            try:
+                specs = [mapping[v] for v in range(count)]
+                first = specs[0]
+                iota = int(first["iota"])
+                num_colors = int(first["num_colors"])
+                x_num = int(first["x_num"])
+                scale = 1 << iota
+                color = np.fromiter(
+                    (s["color"] for s in specs), dtype=np.int64, count=count
+                )
+                canonical = (
+                    num_colors >= 1
+                    and 0 < x_num < scale
+                    and all(
+                        s["iota"] == iota
+                        and s["num_colors"] == num_colors
+                        and s["mode"] == "auto"
+                        and s["x_num"] == x_num
+                        and s["p_num"] == x_num
+                        and s["c_num"] == scale
+                        for s in specs
+                    )
+                )
+            except (KeyError, TypeError, ValueError):
+                return None
+            deg = degrees[lo:hi]
+            max_degree = int(deg.max()) if count else 0
+            if (
+                not canonical
+                or max_degree + 1 >= 512
+                or not bool(np.all((0 <= color) & (color < num_colors)))
+            ):
+                return None
+            kernel.c_num[lo:hi] = scale
+            kernel.scale[lo:hi] = scale
+            x_col[lo:hi] = x_num
+            p_col[lo:hi] = x_num
+            kernel._load_protocol_slice(lo, hi, color, num_colors, scale, x_num)
+        # The setup round bit for bit: every connected node broadcasts
+        # ``Message("xp", x_num, p_num)`` (a degree-0 broadcast queues no
+        # wire traffic, so the scalar handover masks it off too).
+        pending = PendingBroadcast(
+            _XP_SPEC,
+            degrees > 0,
+            (x_col, p_col),
+            _XP_SPEC.bits_array((x_col, p_col)),
+        )
+        return kernel, pending
+
+    def absorb_instance(self, lo, hi, programs, contexts):
+        """Load one instance's post-prologue state (exactly ``__init__``).
+
+        A gate-passing instance absorbs at round 1 — its programs are
+        fresh from ``setup`` (``_final_x`` and ``coin`` still unset, which
+        the generic fill below maps to the correct dead defaults) — and
+        additionally loads the in-plane protocol state.  Anything else
+        absorbs at its execution phase with only the exec-state arrays.
+        """
+        count = hi - lo
+        self.live[lo:hi] = np.fromiter(
+            (not contexts[v]._halted for v in range(count)),
+            dtype=bool,
+            count=count,
+        )
+        self.final_x[lo:hi] = np.fromiter(
+            (programs[v]._final_x or 0 for v in range(count)),
+            dtype=np.int64,
+            count=count,
+        )
+        self.c_num[lo:hi] = np.fromiter(
+            (programs[v].c_num for v in range(count)),
+            dtype=np.int64,
+            count=count,
+        )
+        self.scale[lo:hi] = np.fromiter(
+            (programs[v].scale for v in range(count)),
+            dtype=np.int64,
+            count=count,
+        )
+        self.coin[lo:hi] = np.fromiter(
+            (
+                -1 if programs[v].coin is None else programs[v].coin
+                for v in range(count)
+            ),
+            dtype=np.int64,
+            count=count,
+        )
+        progs = [programs[v] for v in range(count)]
+        degrees = np.asarray(self.plane.degrees[lo:hi])
+        max_degree = int(degrees.max()) if count else 0
+        if self._vectorizable_inputs(progs, max_degree):
+            self._init_protocol_slice(lo, hi, progs)
+
+    # -- in-plane color-class rounds ------------------------------------------
+
+    def step(self, round_no: int, inbound):
         plane = self.plane
-        sent = plane.sent_slots(inbound)
+        parts = {
+            part.spec.tag: part for part in pending_parts(inbound)
+        }
+        outbound: list = []
+        acting = self.vectorized & self.live
+        if acting.any():
+            if round_no == 1:
+                # Exchange round: estimator state was precomputed at
+                # takeover (uniform inputs make the xp payloads known);
+                # class 0's deciders announce.
+                self._emit_announce(acting, 0, outbound)
+            else:
+                class_index, phase = divmod(round_no - 2, 3)
+                in_class = acting & (self.num_colors > class_index)
+                if phase == 0 and in_class.any():
+                    self._alpha_round(class_index, acting, outbound)
+                elif phase == 1 and in_class.any():
+                    self._decide_round(class_index, in_class, parts, outbound)
+                elif phase == 2:
+                    if in_class.any():
+                        self._fold_round(class_index, acting)
+                        self._emit_announce(acting, class_index + 1, outbound)
+                    # Instances whose last class just closed broadcast the
+                    # phase-one value (the scalar ``_maybe_announce`` at
+                    # ``class_index == num_colors``).
+                    entering = acting & (self.num_colors == class_index + 1)
+                    if entering.any():
+                        self._emit_exec(entering, outbound)
+        self._finish_execution(round_no, parts.get("exec"))
+        if not outbound:
+            return None
+        return outbound[0] if len(outbound) == 1 else tuple(outbound)
+
+    def _emit_announce(self, acting, class_index, outbound) -> None:
+        mask = acting & (self.color == class_index)
+        if not mask.any():
+            return
+        bits = np.where(mask, MESSAGE_HEADER_BITS, 0).astype(np.int64)
+        outbound.append(PendingBroadcast(_ANNOUNCE_SPEC, mask, (), bits))
+
+    def _alpha_round(self, class_index, acting, outbound) -> None:
+        """Deliver announces: every neighbor of a decider quotes alphas.
+
+        The scalar path raises on any node that hears two simultaneous
+        announces; decider sets are state-derived here, so the same check
+        is a row count over decider-neighbor slots.
+        """
+        plane = self.plane
+        deciders = acting & (self.color == class_index)
+        if not deciders.any():
+            return
+        senders = np.asarray(plane.indices)
+        decider_neighbors = plane.row_sum(deciders[senders].astype(np.int64))
+        bad = acting & (decider_neighbors > 1)
+        if bad.any():
+            node = int(np.flatnonzero(bad)[0])
+            raise CongestError(
+                f"node {int(plane.local_ids[node])} saw "
+                f"{int(decider_neighbors[node])} simultaneous "
+                "deciders; the coloring is not distance-2"
+            )
+        # Receiver-side slots of decider rows each carry one alpha quote
+        # (sender = the slot's peer).
+        slots = np.flatnonzero(deciders[self._slot_rows()])
+        if slots.size == 0:
+            return
+        quoting = senders[slots]
+        coin = self.coin[quoting]
+        # Expected own phase-one value: f(x) while undecided (p * x/p),
+        # else the committed outcome (own_success is exactly 1.0 here).
+        expected = np.where(coin < 0, self.x_f[quoting], coin.astype(np.float64))
+        phi0 = np.where(
+            self.fixed_success[quoting] > 0,
+            0.0,
+            _exp_exact(
+                np.minimum(0.0, self.log_prod[quoting] - self.t[quoting])
+            ),
+        )
+        scale_f = self.scale_f[quoting]
+        cap = self.scale[quoting] * 4
+        wire0 = np.minimum(cap, np.rint((expected + phi0) * scale_f).astype(np.int64))
+        wire1 = np.minimum(cap, np.rint(expected * scale_f).astype(np.int64))
+        nnz = plane.nnz
+        slot_mask = np.zeros(nnz, dtype=bool)
+        slot_mask[slots] = True
+        col0 = np.zeros(nnz, dtype=np.int64)
+        col1 = np.zeros(nnz, dtype=np.int64)
+        col0[slots] = wire0
+        col1[slots] = wire1
+        bits = np.zeros(nnz, dtype=np.int64)
+        bits[slots] = _ALPHA_SPEC.bits_array((wire0, wire1))
+        outbound.append(PendingTargeted(_ALPHA_SPEC, slot_mask, (col0, col1), bits))
+
+    def _decide_round(self, class_index, in_class, parts, outbound) -> None:
+        """Deciders sum the quoted alphas plus their own pair and commit."""
+        plane = self.plane
+        deciders_mask = in_class & (self.color == class_index)
+        deciders = np.flatnonzero(deciders_mask)
+        if deciders.size == 0:
+            return
+        alpha = parts.get("alpha")
+        if alpha is not None:
+            masked0 = np.where(alpha.slot_mask, alpha.columns[0], 0)
+            masked1 = np.where(alpha.slot_mask, alpha.columns[1], 0)
+            sum0 = plane.row_sum(masked0)[deciders]
+            sum1 = plane.row_sum(masked1)[deciders]
+        else:
+            sum0 = sum1 = np.zeros(deciders.size, dtype=np.int64)
+        # Own pair: (phi_if(own, fail), own_success + 0.0) — the success
+        # branch covers c exactly, so alpha_1 is exactly scale.
+        own_phi0 = np.where(
+            self.fixed_success[deciders] > 0,
+            0.0,
+            _exp_exact(
+                np.minimum(0.0, self.log_prod[deciders] - self.t[deciders])
+            ),
+        )
+        total0 = sum0 + np.rint(own_phi0 * self.scale_f[deciders]).astype(np.int64)
+        total1 = sum1 + self.scale[deciders]
+        coin = np.where(total1 < total0, 1, 0).astype(np.int64)
+        self.coin[deciders] = coin
+        # estimator.fix(-1, coin): own factor leaves the free set.
+        self.fixed_success[deciders] += coin
+        self.log_prod[deciders] -= self.t[deciders]
+        n = plane.n
+        column = np.zeros(n, dtype=np.int64)
+        column[deciders] = coin
+        bits = _FIXED_SPEC.bits_array((column,))
+        outbound.append(
+            PendingBroadcast(_FIXED_SPEC, deciders_mask, (column,), bits)
+        )
+
+    def _fold_round(self, class_index, acting) -> None:
+        """Neighbors fold the delivered decisions into estimator state."""
+        plane = self.plane
+        deciders = acting & (self.color == class_index)
+        if not deciders.any():
+            return
+        senders = np.asarray(plane.indices)
+        decided_slot = deciders[senders]
+        delta = plane.row_sum(np.where(decided_slot, self.coin[senders], 0))
+        folding = plane.row_any(decided_slot) & acting
+        self.fixed_success += np.where(folding, delta, 0)
+        self.log_prod = np.where(
+            folding, self.log_prod - self.t, self.log_prod
+        )
+
+    def _emit_exec(self, entering, outbound) -> None:
+        """The scalar ``_broadcast_final_x``: commit and announce the
+        phase-one value (``own_success`` is exactly 1.0, so a success coin
+        contributes exactly ``scale``)."""
+        phase_one = np.where(self.coin > 0, self.scale, 0)
+        self.final_x = np.where(entering, phase_one, self.final_x)
+        column = np.where(entering, self.final_x, 0)
+        bits = _EXEC_SPEC.bits_array((column,))
+        outbound.append(PendingBroadcast(_EXEC_SPEC, entering, (column,), bits))
+
+    def _finish_execution(self, round_no: int, exec_part) -> None:
+        plane = self.plane
+        sent = plane.sent_slots(exec_part)
         heard = plane.row_sum(sent)
         received = plane.row_sum(np.where(sent, plane.gather(self.final_x), 0))
         # A node finishes once it heard the phase-one value of its whole
         # neighborhood in one round (all nodes broadcast simultaneously).
+        # In-plane instances additionally must have *reached* their
+        # execution phase — an isolated node trivially hears its whole
+        # (empty) neighborhood every round.
         finishing = self.live & (heard == plane.degrees)
+        if round_no >= 2:
+            class_index = (round_no - 2) // 3
+            in_exec = self.num_colors <= class_index
+        else:
+            in_exec = np.zeros(plane.n, dtype=bool)
+        finishing &= in_exec | ~self.vectorized
         if finishing.any():
             covered = self.final_x + received
             final = np.where(covered < self.c_num, self.scale, self.final_x)
@@ -313,7 +857,6 @@ class Lemma310ExecutionKernel(VectorKernel):
                 if self.coin[v] >= 0:
                     self.output(node, "coin", int(self.coin[v]))
             self.live &= ~finishing
-        return None
 
 
 def run_lemma310_on_graph(
@@ -392,6 +935,92 @@ def _summary(sim: SimulationResult) -> Dict[str, object]:
     }
 
 
+#: Canonical-workload colorings, memoized per live network.  The batch
+#: hooks (`_batch_inputs`, `_batch_num_colors` via `_batch_max_rounds`)
+#: all need the same distance-2 coloring of the same topology, and the
+#: runner calls them back to back while holding the network — without the
+#: memo a stacked group squares its dominant setup cost by coloring every
+#: instance twice.  Weak keys keep retired networks collectable.
+_COLORING_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _canonical_coloring(network: Network):
+    try:
+        return _COLORING_MEMO[network]
+    except (KeyError, TypeError):
+        pass
+    from repro.coloring.distance2 import distance2_coloring
+
+    coloring = distance2_coloring(network.graph)
+    try:
+        _COLORING_MEMO[network] = coloring
+    except TypeError:
+        pass
+    return coloring
+
+
+def _batch_num_colors(network: Network) -> int:
+    """Color count of the canonical workload's distance-2 coloring."""
+    coloring = _canonical_coloring(network)
+    return (max(coloring.colors.values()) + 1) if coloring.colors else 0
+
+
+def _batch_inputs(network: Network) -> Dict[int, Dict[str, object]]:
+    """Per-node inputs reproducing :func:`_drive` bit for bit."""
+    coloring = _canonical_coloring(network)
+    n = network.n
+    grid = TransmittableGrid.for_n(n)
+    half = grid.to_int(0.5)
+    c_num = grid.to_int(1.0)
+    num_colors = (
+        (max(coloring.colors.values()) + 1) if coloring.colors else 0
+    )
+    return {
+        v: {
+            "iota": grid.iota,
+            "x_num": half,
+            "p_num": half,
+            "c_num": c_num,
+            "color": coloring.colors.get(v, -1),
+            "num_colors": num_colors,
+            "mode": "auto",
+        }
+        for v in range(n)
+    }
+
+
+def _batch_max_rounds(network) -> int:
+    """:func:`run_lemma310_on_graph`'s ``3 * num_colors + 12`` limit.
+
+    Cost-model proxies (:class:`repro.experiments.scheduler._SizeProxy`)
+    carry only ``n``; for those the trivial n-coloring bounds the color
+    count, keeping plan estimates finite without building a graph.
+    """
+    if not hasattr(network, "graph"):
+        return 3 * int(network.n) + 12
+    return 3 * _batch_num_colors(network) + 12
+
+
+def _batch_prologue_rounds(network) -> int:
+    """Scalar prologue rounds of the canonical batch workload: usually 0.
+
+    The canonical uniform inputs (:func:`_batch_inputs`) clear the
+    kernel's round-1 gate on any ordinary topology, so a stacked instance
+    runs *no* scalar prologue — the whole color-class protocol executes
+    in-plane.  Only degenerate instances whose max degree reaches the
+    estimator's refresh threshold fall back to the late takeover at
+    ``2 + 3 * num_colors``; the adaptive scheduler charges those prologue
+    rounds on top of the plane cost.  Cost-model size proxies
+    (:class:`repro.experiments.scheduler._SizeProxy`) carry only ``n``
+    and assume the common gate-passing case.
+    """
+    if not hasattr(network, "graph"):
+        return 0
+    if getattr(network, "max_degree", 0) + 1 < 512:
+        return 0
+    return 3 * _batch_num_colors(network) + 1
+
+
 register_program(
     ProgramSpec(
         name="lemma310",
@@ -399,9 +1028,12 @@ register_program(
         program=Lemma310Program,
         drive=_drive,
         summarize=_summary,
-        # No batch recipe: the execution kernel takes over after a
-        # per-instance number of scalar color rounds, so K instances cannot
-        # share one plane (its kernel is stackable=False); batched sweeps
-        # fall back per cell.
+        # Batch recipe: stacked instances run their color-class prologues
+        # scalar (sparse, via the kernel's prologue_oracle) and join the
+        # shared plane at their own 2 + 3*num_colors takeover round.
+        batch_factory=Lemma310Program,
+        batch_inputs=_batch_inputs,
+        batch_max_rounds=_batch_max_rounds,
+        batch_prologue_rounds=_batch_prologue_rounds,
     )
 )

@@ -22,6 +22,10 @@ Three decisions, all deterministic functions of their inputs:
   per-program estimate where measured data exists (see below); message
   bits from the program's declared :class:`~repro.congest.engine.vector.
   MessageSpec` list with every field charged ``bit_length(n)``.
+  Programs whose kernel takes over after round 1 (per-instance scalar
+  prologues, e.g. ``lemma310``) are priced, not rejected: the spec's
+  ``batch_prologue_rounds`` recipe adds a weighted scalar surcharge on
+  top of the plane cost (:func:`estimate_prologue_rounds`).
 * :func:`resolve_target_cost` — what ``target_cost="auto"`` negotiates:
   the total stackable cost divided over ``2 * jobs`` planes (the factor
   of two oversubscribes the pool so an early-finishing worker always
@@ -79,6 +83,7 @@ __all__ = [
     "calibrated_round_limit",
     "estimate_cell_cost",
     "estimate_message_bits",
+    "estimate_prologue_rounds",
     "estimate_round_limit",
     "record_round_sample",
     "reset_round_calibration",
@@ -95,6 +100,15 @@ OVERSUBSCRIBE = 2
 
 #: Round-limit fallback (per instance) when a spec carries no recipe.
 _FALLBACK_ROUND_FACTOR = 4
+
+#: Cost multiplier for per-instance scalar *prologue* rounds (kernels
+#: whose takeover comes after round 1 run each instance's early rounds
+#: through the scalar engine before absorbing it into the plane).  A
+#: scalar round touches each node through the Python interpreter rather
+#: than one vector op, so it is charged a constant factor above a plane
+#: round of the same width; the surcharge stays additive and monotone,
+#: which is all the split logic needs.
+PROLOGUE_COST_WEIGHT = 4
 
 
 class _SizeProxy:
@@ -241,14 +255,39 @@ def estimate_message_bits(program: str, n: int) -> int:
     )
 
 
+def estimate_prologue_rounds(program: str, n: int) -> int:
+    """Scalar prologue rounds the cost model charges one cell of size ``n``.
+
+    Programs whose kernel takes over after round 1 run each instance's
+    opening rounds through the scalar engine before the stacked plane
+    absorbs it; the spec's ``batch_prologue_rounds`` recipe (evaluated on
+    the same size proxy as the round limit) prices those rounds.  ``0``
+    for round-1 takeover programs — the historical behaviour, where the
+    plane cost alone was the whole estimate.
+    """
+    spec = program_spec(program)
+    if spec.batch_prologue_rounds is None:
+        return 0
+    try:
+        return max(0, int(spec.batch_prologue_rounds(_SizeProxy(n))))
+    except Exception:  # noqa: BLE001 - a recipe needing a real Network
+        return 0
+
+
 def estimate_cell_cost(cell) -> int:
-    """Estimated execution cost of one grid cell (exact integer)."""
+    """Estimated execution cost of one grid cell (exact integer).
+
+    The plane cost (width × rounds × bits) plus the weighted scalar
+    prologue surcharge for per-instance late-takeover programs — both
+    terms deterministic, additive across cells and monotone in ``n``.
+    """
     n = int(cell.n)
-    return plane_cost(
-        [n],
-        [estimate_round_limit(cell.program, n)],
-        [estimate_message_bits(cell.program, n)],
-    )
+    bits = estimate_message_bits(cell.program, n)
+    cost = plane_cost([n], [estimate_round_limit(cell.program, n)], [bits])
+    prologue = estimate_prologue_rounds(cell.program, n)
+    if prologue:
+        cost += PROLOGUE_COST_WEIGHT * n * prologue * bits
+    return cost
 
 
 def _stackable_groups(cells) -> Tuple[Dict[tuple, List[int]], List[tuple]]:

@@ -73,7 +73,12 @@ class TestRegistry:
         assert program_spec("cds").composite is True
 
     def test_batchable_programs_derive_from_registry(self):
-        assert batchable_programs() == ["color-reduction", "greedy", "rounding-exec"]
+        assert batchable_programs() == [
+            "color-reduction",
+            "greedy",
+            "lemma310",
+            "rounding-exec",
+        ]
         for name in batchable_programs():
             assert program_spec(name).batch_factory is not None
 
@@ -369,9 +374,9 @@ class TestStreaming:
         out = capsys.readouterr().out
         lines = [line for line in out.splitlines() if line.startswith("{")]
         records = [json.loads(line) for line in lines]
-        # 2 families x 2 sizes (mixed: the ragged smoke) x 3 stackable
+        # 2 families x 2 sizes (mixed: the ragged smoke) x 4 stackable
         # programs x 5 seeds
-        assert len(records) == 60
+        assert len(records) == 80
         assert all(rec["ok"] for rec in records)
         assert "no_failures=PASS" in out and "engine_parity=PASS" in out
 

@@ -1,0 +1,270 @@
+"""Backend conformance for the plane's array-namespace seam.
+
+``CsrPlane`` / ``StackedPlane`` capture :func:`plane_namespace` at
+construction: under numpy the row reductions keep the exact
+``ufunc.reduceat`` fast paths, under any other namespace they run
+portable segment kernels built from array-API *standard* operations
+only.  Two backends exercise the portable path here:
+
+* a **restricted numpy proxy** (always runs): forwards a fixed allowlist
+  of standard-namespace functions to numpy and raises on anything else,
+  so a numpy-only idiom creeping into the portable path (``reduceat``,
+  ``flatnonzero``, ``bincount``, ...) fails loudly without any optional
+  dependency installed;
+* **array-api-strict** (skip-if-missing): the reference strict
+  implementation of the standard, proving the seam holds against a
+  backend whose arrays are *not* numpy arrays at all.
+
+Ground truth is always the numpy plane — per-row python loops double-check
+the reductions themselves, so a bug shared by both code paths can't hide.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.congest.engine import (
+    CsrPlane,
+    StackedPlane,
+    plane_namespace,
+    set_plane_namespace,
+    use_plane_namespace,
+)
+from repro.congest.engine.vector import PendingBroadcast
+from repro.congest.network import Network
+from repro.graphs.suite import suite_instance
+
+#: The array-API standard surface the portable plane path may touch.
+#: Keeping this an explicit allowlist is the point of the proxy backend:
+#: the portable kernels must stay inside it or the tests fail.
+_STANDARD_FUNCTIONS = frozenset(
+    {
+        "arange",
+        "asarray",
+        "astype",
+        "cumulative_sum",
+        "full",
+        "max",
+        "maximum",
+        "searchsorted",
+        "take",
+        "where",
+        "zeros",
+    }
+)
+
+
+class RestrictedNumpyNamespace:
+    """Array-API-shaped namespace backed by numpy, allowlist enforced."""
+
+    int64 = np.int64
+    bool = np.bool_
+
+    def __getattr__(self, name):
+        if name not in _STANDARD_FUNCTIONS:
+            raise AttributeError(
+                f"{name!r} is not part of the array-API standard surface "
+                "the plane seam is allowed to use"
+            )
+        return getattr(np, name)
+
+
+def _zoo():
+    """Graphs covering the reduction edge cases plus random suite draws."""
+    import networkx as nx
+
+    lopsided = nx.Graph()
+    lopsided.add_nodes_from(range(7))
+    # Node 4 is isolated; rows of very different widths.
+    lopsided.add_edges_from([(0, 1), (1, 2), (2, 3), (5, 6), (1, 3), (0, 6)])
+    graphs = {
+        "lopsided-with-isolated": lopsided,
+        "single-edge": nx.path_graph(2),
+        "star": nx.star_graph(6),
+        "complete": nx.complete_graph(5),
+        "all-isolated": nx.empty_graph(4),
+    }
+    for family, seed in (("gnp", 0), ("tree", 1), ("gnp-dense", 2)):
+        graphs[f"{family}-20-{seed}"] = suite_instance(
+            family, 20, seed=seed
+        ).graph
+    return graphs
+
+
+def _as_list(values):
+    """Backend-portable array -> python list (single-element indexing)."""
+    return [int(values[i]) for i in range(int(values.shape[0]))]
+
+
+def _reference_reductions(network, slot_values, empty):
+    """Per-row python-loop ground truth, independent of both code paths."""
+    indptr, _ = network.csr()
+    sums, maxima = [], []
+    for v in range(network.n):
+        row = [int(x) for x in slot_values[indptr[v] : indptr[v + 1]]]
+        sums.append(sum(row))
+        maxima.append(max(row) if row else empty)
+    return sums, maxima
+
+
+def _conformance_case(xp, plane_factory, network_like, nnz, rng):
+    """Build a plane under ``xp`` and check every hot-path op against
+    the numpy plane and the python-loop reference."""
+    numpy_plane = plane_factory()
+    with use_plane_namespace(xp):
+        portable = plane_factory()
+    assert portable.xp is xp
+    assert numpy_plane.xp is np
+
+    for signed in (False, True):
+        lo = -50 if signed else 0
+        slot_values = rng.integers(lo, 100, size=nnz, dtype=np.int64)
+        empty = -1 if not signed else -(10**6)
+        ref_sum, ref_max = _reference_reductions(network_like, slot_values, empty)
+        assert _as_list(numpy_plane.row_sum(slot_values)) == ref_sum
+        assert _as_list(portable.row_sum(xp.asarray(slot_values))) == ref_sum
+        assert _as_list(numpy_plane.row_max(slot_values, empty)) == ref_max
+        assert _as_list(portable.row_max(xp.asarray(slot_values), empty)) == ref_max
+
+    flags = rng.integers(0, 2, size=nnz, dtype=np.int64)
+    assert _as_list(
+        xp.astype(portable.row_any(xp.asarray(flags)), xp.int64)
+    ) == _as_list(numpy_plane.row_any(flags).astype(np.int64))
+
+    per_node = rng.integers(0, 1000, size=numpy_plane.n, dtype=np.int64)
+    assert _as_list(portable.gather(per_node)) == _as_list(
+        numpy_plane.gather(per_node)
+    )
+
+    mask = np.asarray(rng.integers(0, 2, size=numpy_plane.n), dtype=bool)
+    pending = PendingBroadcast.__new__(PendingBroadcast)
+    pending.mask = mask
+    sent_numpy = numpy_plane.sent_slots(pending)
+    sent_portable = portable.sent_slots(pending)
+    assert _as_list(xp.astype(sent_portable, xp.int64)) == _as_list(
+        sent_numpy.astype(np.int64)
+    )
+    none_numpy = numpy_plane.sent_slots(None)
+    none_portable = portable.sent_slots(None)
+    assert _as_list(xp.astype(none_portable, xp.int64)) == _as_list(
+        none_numpy.astype(np.int64)
+    )
+
+    # Identity tables built through the namespace agree as well.
+    assert _as_list(portable.local_ids) == _as_list(numpy_plane.local_ids)
+    assert _as_list(portable.local_n_of) == _as_list(numpy_plane.local_n_of)
+    assert _as_list(portable.degrees) == _as_list(numpy_plane.degrees)
+
+
+class TestNamespaceSeam:
+    def test_default_namespace_is_numpy(self):
+        assert plane_namespace() is np
+
+    def test_set_returns_previous_and_round_trips(self):
+        xp = RestrictedNumpyNamespace()
+        assert set_plane_namespace(xp) is None
+        try:
+            assert plane_namespace() is xp
+        finally:
+            assert set_plane_namespace(None) is xp
+        assert plane_namespace() is np
+
+    def test_context_manager_restores_on_error(self):
+        xp = RestrictedNumpyNamespace()
+        with pytest.raises(RuntimeError):
+            with use_plane_namespace(xp):
+                assert plane_namespace() is xp
+                raise RuntimeError("boom")
+        assert plane_namespace() is np
+
+    def test_plane_captures_namespace_at_construction(self):
+        """A numpy plane built before a switch keeps its fast paths."""
+        net = Network.congest(suite_instance("gnp", 12, seed=0).graph)
+        plane = CsrPlane(net)
+        with use_plane_namespace(RestrictedNumpyNamespace()):
+            assert plane.xp is np
+            values = np.arange(plane.nnz, dtype=np.int64)
+            assert _as_list(plane.row_sum(values)) == _as_list(
+                CsrPlane(net).row_sum(values)
+            )
+
+
+class TestRestrictedNumpyConformance:
+    """The portable path stays inside the standard surface (no optional
+    dependency needed: any numpy-only idiom raises ``AttributeError``)."""
+
+    @pytest.mark.parametrize("name", sorted(_zoo()))
+    def test_csr_plane_hot_path(self, name):
+        graph = _zoo()[name]
+        net = Network.congest(graph)
+        rng = np.random.default_rng(zlib.crc32(name.encode()))
+        _conformance_case(
+            RestrictedNumpyNamespace(),
+            lambda: CsrPlane(net),
+            net,
+            net.csr()[1].__len__(),
+            rng,
+        )
+
+    def test_stacked_plane_hot_path(self):
+        networks = [
+            Network.congest(suite_instance(f, n, seed=s).graph)
+            for f, n, s in (("gnp", 16, 0), ("tree", 30, 1), ("gnp-dense", 9, 2))
+        ]
+
+        class _Group:
+            n = sum(net.n for net in networks)
+
+            @staticmethod
+            def csr():
+                indptr = [0]
+                indices = []
+                base = 0
+                for net in networks:
+                    ip, idx = net.csr()
+                    indices.extend(int(x) + base for x in idx)
+                    indptr.extend(int(x) + indptr[base] for x in ip[1:])
+                    base += net.n
+                return indptr, indices
+
+        rng = np.random.default_rng(7)
+        _conformance_case(
+            RestrictedNumpyNamespace(),
+            lambda: StackedPlane(networks),
+            _Group,
+            sum(len(net.csr()[1]) for net in networks),
+            rng,
+        )
+
+
+class TestArrayApiStrictConformance:
+    """Same matrix against the reference strict backend (skip-if-missing)."""
+
+    @pytest.fixture()
+    def xp(self):
+        return pytest.importorskip("array_api_strict")
+
+    @pytest.mark.parametrize("name", sorted(_zoo()))
+    def test_csr_plane_hot_path(self, name, xp):
+        graph = _zoo()[name]
+        net = Network.congest(graph)
+        rng = np.random.default_rng(zlib.crc32(name.encode()))
+        _conformance_case(
+            xp, lambda: CsrPlane(net), net, net.csr()[1].__len__(), rng
+        )
+
+    def test_stacked_plane_arrays_are_backend_arrays(self, xp):
+        networks = [
+            Network.congest(suite_instance("gnp", 12, seed=s).graph)
+            for s in range(2)
+        ]
+        with use_plane_namespace(xp):
+            plane = StackedPlane(networks)
+        assert plane.xp is xp
+        # Strict arrays are not numpy arrays: the plane really is living
+        # on the foreign backend, not silently round-tripping.
+        assert not isinstance(plane.indptr, np.ndarray)
+        assert not isinstance(plane.row_sum(xp.zeros(plane.nnz, dtype=xp.int64)), np.ndarray)

@@ -53,6 +53,73 @@ def _networks(family: str, n: int, seeds) -> list:
     ]
 
 
+def _lemma310_group(networks):
+    """Registry-recipe inputs and per-instance round limits for lemma310.
+
+    Unlike the closed-form ``PROGRAMS`` recipes, lemma310's round limit
+    depends on the distance-2 coloring of each concrete graph, so both
+    come from the registered spec.  These are the *canonical uniform*
+    inputs, which the kernel runs fully in-plane from round 1.
+    """
+    from repro.api.registry import program_spec
+
+    spec = program_spec("lemma310")
+    inputs = [dict(spec.batch_inputs(net)) for net in networks]
+    limits = [int(spec.batch_max_rounds(net)) for net in networks]
+    return inputs, limits
+
+
+def _perturb_lemma310(network, inputs):
+    """Make one instance's inputs heterogeneous (``x != p`` on a third of
+    the nodes), failing the kernel's round-1 gate so the instance runs the
+    scalar color-class prologue and absorbs at ``2 + 3*num_colors``."""
+    from repro.util.transmittable import TransmittableGrid
+
+    grid = TransmittableGrid.for_n(network.n)
+    quarter = grid.to_int(0.25)
+    return {
+        v: (dict(box, x_num=quarter) if v % 3 == 0 else dict(box))
+        for v, box in inputs.items()
+    }
+
+
+def _break_lemma310_uniformity(network, inputs):
+    """Keep every node at ``x == p`` but vary the value across nodes.
+
+    Each node still looks canonical in isolation; only the *cross-node*
+    uniformity clause of the round-1 gate fails.  The vectorized protocol
+    seeds its whole log-product table from one shared ``p``, so absorbing
+    such an instance at round 1 would silently compute wrong alpha quotes
+    — the gate must route it through the scalar prologue instead."""
+    from repro.util.transmittable import TransmittableGrid
+
+    grid = TransmittableGrid.for_n(network.n)
+    quarter = grid.to_int(0.25)
+    return {
+        v: (
+            dict(box, x_num=quarter, p_num=quarter)
+            if v % 3 == 0
+            else dict(box)
+        )
+        for v, box in inputs.items()
+    }
+
+
+def _lemma310_takeovers(networks, inputs):
+    """Actual per-instance takeover rounds, straight from the kernel."""
+    from repro.congest.engine import kernel_for
+
+    kernel_cls = kernel_for(Lemma310Program)
+    return [
+        int(
+            kernel_cls.takeover_round(
+                net, {v: Lemma310Program(box[v]) for v in range(net.n)}
+            )
+        )
+        for net, box in zip(networks, inputs)
+    ]
+
+
 def _solo_and_stacked(program: str, networks, seeds=None):
     cls, max_rounds, inputs_fn = PROGRAMS[program]
     n = networks[0].n
@@ -174,17 +241,55 @@ class TestEligibility:
         with pytest.raises(BatchEligibilityError):
             run_stacked(networks, BFSTreeProgram)
 
-    def test_lemma310_is_not_stackable(self):
-        assert stack_ineligibility(Lemma310Program) is not None
-        assert "stackable" in stack_ineligibility(Lemma310Program)
-
     def test_stackable_programs_report_eligible(self):
         for cls in (
             DistributedGreedyProgram,
             ColorReductionProgram,
             RoundingExecutionProgram,
+            Lemma310Program,
         ):
             assert stack_ineligibility(cls) is None
+
+    def test_late_takeover_without_absorb_is_rejected_at_boot(self, monkeypatch):
+        """takeover_round > 1 demands absorb_instance — checked eagerly,
+        before any scalar prologue work is spent.  Heterogeneous inputs
+        force the late takeover (canonical ones run in-plane from round 1
+        and never need absorption)."""
+        from repro.congest.engine import VectorKernel, kernel_for
+
+        kernel_cls = kernel_for(Lemma310Program)
+        monkeypatch.setattr(
+            kernel_cls, "absorb_instance", VectorKernel.absorb_instance
+        )
+        networks = _networks("gnp", 12, range(2))
+        inputs, limits = _lemma310_group(networks)
+        inputs = [
+            _perturb_lemma310(net, box)
+            for net, box in zip(networks, inputs)
+        ]
+        assert all(t > 1 for t in _lemma310_takeovers(networks, inputs))
+        with pytest.raises(BatchEligibilityError, match="absorb_instance"):
+            run_stacked(
+                networks, Lemma310Program, inputs=inputs, max_rounds=limits
+            )
+
+    def test_canonical_lemma310_takes_over_at_round_one(self, monkeypatch):
+        """Canonical uniform inputs clear the kernel's round-1 gate: the
+        whole group runs lockstep in-plane and never calls
+        absorb_instance at all."""
+        from repro.congest.engine import VectorKernel, kernel_for
+
+        kernel_cls = kernel_for(Lemma310Program)
+        monkeypatch.setattr(
+            kernel_cls, "absorb_instance", VectorKernel.absorb_instance
+        )
+        networks = _networks("gnp", 12, range(2))
+        inputs, limits = _lemma310_group(networks)
+        assert _lemma310_takeovers(networks, inputs) == [1, 1]
+        results = run_stacked(
+            networks, Lemma310Program, inputs=inputs, max_rounds=limits
+        )
+        assert all(r.all_halted for r in results)
 
     def test_bfs_reports_reason(self):
         assert "message_specs" in stack_ineligibility(BFSTreeProgram)
@@ -411,3 +516,156 @@ class TestRaggedStacking:
         ) == run_stacked(
             networks, DistributedGreedyProgram, max_rounds=8 * 150 + 16
         )
+
+
+class TestLemma310Stacking:
+    """Lemma 3.10 stacking, both speeds.
+
+    Canonical uniform instances clear the kernel's round-1 gate and run
+    their color-class rounds *in-plane* (lockstep, targeted alpha traffic
+    and all); heterogeneous instances run their ``2 + 3*num_colors``
+    scalar prologue against the shared global clock and are absorbed at
+    their *own* takeover round.  A mixed group carries both side by side.
+    The parity contract is the same absolute one in every lane: field for
+    field against solo ``vector`` runs.
+    """
+
+    @pytest.mark.parametrize("family", ("gnp", "tree", "geometric"))
+    def test_uniform_parity_field_for_field(self, family):
+        networks = _networks(family, 24, range(4))
+        inputs, limits = _lemma310_group(networks)
+        assert set(_lemma310_takeovers(networks, inputs)) == {1}
+        solo = [
+            Simulator(
+                net, Lemma310Program, inputs=inputs[k], engine="vector"
+            ).run(max_rounds=limits[k])
+            for k, net in enumerate(networks)
+        ]
+        stacked = run_stacked(
+            networks, Lemma310Program, inputs=inputs, max_rounds=limits
+        )
+        for k, (a, b) in enumerate(zip(solo, stacked)):
+            assert a.rounds == b.rounds, (family, k)
+            assert a.outputs == b.outputs, (family, k)
+            assert a.total_messages == b.total_messages, (family, k)
+            assert a.total_bits == b.total_bits, (family, k)
+            assert a.max_message_bits == b.max_message_bits, (family, k)
+            assert a.messages_per_round == b.messages_per_round, (family, k)
+            assert a.bits_per_round == b.bits_per_round, (family, k)
+            assert a == b
+
+    def test_ragged_mixed_takeover_parity(self):
+        """Canonical and heterogeneous instances inside one plane.
+
+        The perturbed instances fail the round-1 gate and run scalar
+        prologues of different ``2 + 3*num_colors`` lengths while the
+        canonical one executes its color-class rounds in-plane from round
+        1 — three distinct takeover rounds, one shared clock, and plane
+        rounds that carry in-plane and handover traffic with different
+        tags at once.
+        """
+        specs = [("gnp", 16, 0), ("gnp-dense", 40, 1), ("tree", 28, 2)]
+        networks = [
+            Network.congest(suite_instance(f, n, seed=s).graph)
+            for f, n, s in specs
+        ]
+        inputs, limits = _lemma310_group(networks)
+        inputs = [
+            _perturb_lemma310(net, box) if k else box
+            for k, (net, box) in enumerate(zip(networks, inputs))
+        ]
+        takeovers = _lemma310_takeovers(networks, inputs)
+        assert takeovers[0] == 1 and len(set(takeovers)) > 2
+        solo = [
+            Simulator(
+                net, Lemma310Program, inputs=inputs[k], engine="vector"
+            ).run(max_rounds=limits[k])
+            for k, net in enumerate(networks)
+        ]
+        assert run_stacked(
+            networks, Lemma310Program, inputs=inputs, max_rounds=limits
+        ) == solo
+
+    def test_nonuniform_x_equals_p_declines_round_one(self):
+        """Per-node-canonical but cross-node-varying inputs stay scalar.
+
+        ``x == p`` holds at every node yet the value differs across
+        nodes: the round-1 gate must decline (the in-plane log-product
+        replay assumes one shared ``p``), the scalar engines must agree
+        with the vector engine solo, and the stacked run must still match
+        solo field for field through the prologue lane."""
+        networks = _networks("gnp", 20, range(2))
+        inputs, limits = _lemma310_group(networks)
+        inputs = [
+            _break_lemma310_uniformity(net, box)
+            for net, box in zip(networks, inputs)
+        ]
+        assert all(t > 1 for t in _lemma310_takeovers(networks, inputs))
+        for k, net in enumerate(networks):
+            runs = {
+                engine: Simulator(
+                    net, Lemma310Program, inputs=inputs[k], engine=engine
+                ).run(max_rounds=limits[k])
+                for engine in ("reference", "vector")
+            }
+            assert runs["reference"] == runs["vector"], k
+        solo = [
+            Simulator(
+                net, Lemma310Program, inputs=inputs[k], engine="vector"
+            ).run(max_rounds=limits[k])
+            for k, net in enumerate(networks)
+        ]
+        assert run_stacked(
+            networks, Lemma310Program, inputs=inputs, max_rounds=limits
+        ) == solo
+
+    def test_vectorized_boot_matches_object_boot(self, monkeypatch):
+        """`stacked_setup` accepts exactly the all-canonical groups and
+        reproduces the object-level boot bit for bit.
+
+        An all-canonical group boots without a single program or context
+        object; disabling the hook forces the same group through scalar
+        ``setup`` plus handover stitching, and the results must be
+        identical.  Any perturbed instance makes ``stacked_setup`` decline
+        (return ``None``) so the group keeps its per-instance lanes."""
+        from repro.congest.engine import kernel_for
+
+        kernel_cls = kernel_for(Lemma310Program)
+        networks = _networks("gnp", 24, range(3))
+        inputs, limits = _lemma310_group(networks)
+        vec_boot = run_stacked(
+            networks, Lemma310Program, inputs=inputs, max_rounds=limits
+        )
+        with monkeypatch.context() as m:
+            m.setattr(kernel_cls, "stacked_setup", None)
+            obj_boot = run_stacked(
+                networks, Lemma310Program, inputs=inputs, max_rounds=limits
+            )
+        assert vec_boot == obj_boot
+        from repro.congest.engine.batched import StackedPlane
+
+        mixed = [dict(box) for box in inputs]
+        mixed[1] = _perturb_lemma310(networks[1], mixed[1])
+        assert (
+            kernel_cls.stacked_setup(StackedPlane(networks), mixed) is None
+        )
+        assert (
+            kernel_cls.stacked_setup(StackedPlane(networks), inputs)
+            is not None
+        )
+
+    def test_iter_stacked_streams_lemma310(self):
+        networks = _networks("gnp", 20, range(3))
+        inputs, limits = _lemma310_group(networks)
+        solo = [
+            Simulator(
+                net, Lemma310Program, inputs=inputs[k], engine="vector"
+            ).run(max_rounds=limits[k])
+            for k, net in enumerate(networks)
+        ]
+        collected = {}
+        for k, result in iter_stacked(
+            networks, Lemma310Program, inputs=inputs, max_rounds=limits
+        ):
+            collected[k] = result
+        assert [collected[k] for k in range(len(networks))] == solo

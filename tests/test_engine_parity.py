@@ -90,6 +90,23 @@ def _drive_lemma310(graph, engine):
     )[-1]
 
 
+def _drive_lemma310_canonical(graph, engine):
+    """The canonical uniform workload (``x = p = 1/2``, ``c = 1``, mode
+    auto): exactly the regime where the vector kernel takes over at round
+    1 and runs the color-class rounds in-plane, so this driver pins the
+    vectorized protocol — targeted alphas, decides, folds — against the
+    scalar engines bit for bit."""
+    from repro.congest.network import Network
+
+    network = Network.congest(graph)
+    coloring = distance2_coloring(graph)
+    values = {v: 0.5 for v in graph.nodes()}
+    p = {v: 0.5 for v in graph.nodes()}
+    return run_lemma310_on_graph(
+        None, values, p, coloring.colors, network=network, engine=engine
+    )[-1]
+
+
 #: Every program in repro/congest/programs, with realistic inputs.
 DRIVERS = {
     "bfs": _drive_bfs,
@@ -98,6 +115,7 @@ DRIVERS = {
     "tree-aggregation": _drive_aggregate,
     "rounding-exec": _drive_rounding_exec,
     "lemma310": _drive_lemma310,
+    "lemma310-canonical": _drive_lemma310_canonical,
 }
 
 #: The full engine matrix; every non-reference engine is compared against

@@ -547,3 +547,62 @@ class TestServerProtocol:
             asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(timeout=30)
             loop.call_soon_threadsafe(loop.stop)
             thread.join(timeout=30)
+
+
+class TestLemma310Coalescing:
+    """Service-path coverage for the last kernel to join the stackable
+    set: lemma310 cells in a multi-tenant window must coalesce into a
+    stacked plane (per-instance scalar prologues and all) — not fall
+    back per cell — and the served records must be solo-parity."""
+
+    def test_multi_tenant_lemma310_window_matches_solo(self, service):
+        cells_a = _cells((20, 30), (0, 1), program="lemma310")
+        cells_b = _cells((30, 24), (1, 2), program="lemma310")
+        ticket_a = service.submit("tenant-a", cells_a)
+        ticket_b = service.submit("tenant-b", cells_b)
+        service.flush()
+        widths = []
+        records_a: dict = {}
+        for served in ticket_a:
+            records_a[served.index] = served.record
+            widths.append(served.meta["stack_width"])
+        served_a = [records_a[i] for i in range(len(cells_a))]
+        served_b = ticket_b.collect(timeout=COLLECT_TIMEOUT)
+        assert comparable_records(served_a) == comparable_records(
+            _solo_records(cells_a)
+        )
+        assert comparable_records(served_b) == comparable_records(
+            _solo_records(cells_b)
+        )
+        # The window really stacked the cells: multi-instance planes, and
+        # the cross-tenant coalescing counter moved.
+        assert max(widths) >= 2
+        assert service.stats()["coalesced_windows"] >= 1
+
+    def test_lemma310_group_stacks_without_fallback(self):
+        """Runner-level witness that the service's batch arm does not take
+        the silent per-cell fallback for lemma310: stacked-path records
+        carry the ``batch`` annotation, fallback records never do."""
+        from repro.experiments.runner import _iter_batched_group_records
+
+        cells = _cells((20, 30, 24), (0, 1), program="lemma310")
+        records = [record for _i, record in _iter_batched_group_records(cells)]
+        assert len(records) == len(cells)
+        assert all(rec.ok for rec in records)
+        assert all(
+            rec.batch is not None and rec.batch["k"] == len(cells)
+            for rec in records
+        ), "a lemma310 group fell back to per-cell execution"
+
+    def test_mixed_program_window_keeps_groups_separate(self, service):
+        """lemma310 and greedy cells in one window coalesce per program
+        group and every record still matches its solo run."""
+        cells = _cells((20,), (0, 1), program="lemma310") + _cells(
+            (20,), (0, 1), program="greedy"
+        )
+        ticket = service.submit("t", cells)
+        service.flush()
+        served = ticket.collect(timeout=COLLECT_TIMEOUT)
+        assert comparable_records(served) == comparable_records(
+            _solo_records(cells)
+        )
